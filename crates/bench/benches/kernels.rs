@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the computational-geometry kernels —
+//! the "traditional algorithm" costs underlying every experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sh_geom::algorithms::closest_pair::closest_pair;
+use sh_geom::algorithms::convex_hull::convex_hull;
+use sh_geom::algorithms::delaunay::Triangulation;
+use sh_geom::algorithms::farthest_pair::farthest_pair;
+use sh_geom::algorithms::plane_sweep::plane_sweep_join;
+use sh_geom::algorithms::skyline::skyline;
+use sh_geom::algorithms::union::boundary_union;
+use sh_geom::algorithms::voronoi::VoronoiDiagram;
+use sh_geom::point::sort_dedup;
+use sh_workload::{default_universe, osm_like_polygons, points, rects, Distribution};
+
+fn bench_point_kernels(c: &mut Criterion) {
+    let uni = default_universe();
+    let mut group = c.benchmark_group("kernels");
+    for &n in &[1_000usize, 10_000] {
+        let pts = points(n, Distribution::Uniform, &uni, 1);
+        group.bench_with_input(BenchmarkId::new("convex_hull", n), &pts, |b, pts| {
+            b.iter(|| convex_hull(black_box(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("skyline", n), &pts, |b, pts| {
+            b.iter(|| skyline(black_box(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("closest_pair", n), &pts, |b, pts| {
+            b.iter(|| closest_pair(black_box(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("farthest_pair", n), &pts, |b, pts| {
+            b.iter(|| farthest_pair(black_box(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_delaunay_voronoi(c: &mut Criterion) {
+    let uni = default_universe();
+    let mut group = c.benchmark_group("voronoi-kernels");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000] {
+        let mut pts = points(n, Distribution::Uniform, &uni, 2);
+        sort_dedup(&mut pts);
+        group.bench_with_input(BenchmarkId::new("delaunay", n), &pts, |b, pts| {
+            b.iter(|| Triangulation::build(black_box(pts)))
+        });
+        group.bench_with_input(BenchmarkId::new("voronoi", n), &pts, |b, pts| {
+            b.iter(|| VoronoiDiagram::build(black_box(pts)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_and_union(c: &mut Criterion) {
+    let uni = default_universe();
+    let mut group = c.benchmark_group("join-union-kernels");
+    group.sample_size(10);
+    let left = rects(2_000, &uni, 5_000.0, 3);
+    let right = rects(2_000, &uni, 5_000.0, 4);
+    group.bench_function("plane_sweep_join/2k", |b| {
+        b.iter(|| plane_sweep_join(black_box(&left), black_box(&right)))
+    });
+    let polys = osm_like_polygons(300, &uni, 8_000.0, 5);
+    group.bench_function("boundary_union/300", |b| {
+        b.iter(|| boundary_union(black_box(&polys)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_kernels,
+    bench_delaunay_voronoi,
+    bench_join_and_union
+);
+criterion_main!(benches);

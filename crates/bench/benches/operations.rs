@@ -1,0 +1,207 @@
+//! Criterion benchmarks of the distributed operations (wall time of the
+//! in-process run at a fixed small scale — one benchmark per evaluated
+//! operation, complementing the simulated-time experiment harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sh_bench::fresh_dfs;
+use sh_core::ops::{
+    closest_pair, convex_hull, farthest_pair, join, knn, range, skyline, union, voronoi,
+};
+use sh_core::storage::{build_index, upload};
+use sh_dfs::Dfs;
+use sh_geom::{Point, Polygon, Rect};
+use sh_index::PartitionKind;
+use sh_workload::{default_universe, osm_like_polygons, points, rects, Distribution};
+
+const BLOCK: u64 = 16 * 1024;
+const N: usize = 20_000;
+
+struct Setup {
+    dfs: Dfs,
+    strp: sh_core::SpatialFile,
+    grid: sh_core::SpatialFile,
+    seq: std::cell::Cell<usize>,
+}
+
+impl Setup {
+    fn new() -> Setup {
+        let dfs = fresh_dfs(BLOCK);
+        let uni = default_universe();
+        let pts = points(N, Distribution::Uniform, &uni, 1);
+        upload(&dfs, "/heap", &pts).unwrap();
+        let strp = build_index::<Point>(&dfs, "/heap", "/strp", PartitionKind::StrPlus)
+            .unwrap()
+            .value;
+        let grid = build_index::<Point>(&dfs, "/heap", "/grid", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        Setup {
+            dfs,
+            strp,
+            grid,
+            seq: std::cell::Cell::new(0),
+        }
+    }
+
+    fn out(&self, tag: &str) -> String {
+        let n = self.seq.get();
+        self.seq.set(n + 1);
+        format!("/bench-out/{tag}-{n}")
+    }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let s = Setup::new();
+    let query = Rect::new(200_000.0, 200_000.0, 260_000.0, 260_000.0);
+    let mut group = c.benchmark_group("queries");
+    group.sample_size(10);
+    group.bench_function("range/hadoop", |b| {
+        b.iter(|| range::range_hadoop::<Point>(&s.dfs, "/heap", &query, &s.out("rh")).unwrap())
+    });
+    group.bench_function("range/spatial-str+", |b| {
+        b.iter(|| range::range_spatial::<Point>(&s.dfs, &s.strp, &query, &s.out("rs")).unwrap())
+    });
+    let q = Point::new(500_000.0, 500_000.0);
+    group.bench_function("knn/hadoop", |b| {
+        b.iter(|| knn::knn_hadoop(&s.dfs, "/heap", &q, 10, &s.out("kh")).unwrap())
+    });
+    group.bench_function("knn/spatial-str+", |b| {
+        b.iter(|| knn::knn_spatial(&s.dfs, &s.strp, &q, 10, &s.out("ks")).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cg_ops(c: &mut Criterion) {
+    let s = Setup::new();
+    let mut group = c.benchmark_group("cg-ops");
+    group.sample_size(10);
+    group.bench_function("skyline/spatial", |b| {
+        b.iter(|| skyline::skyline_spatial(&s.dfs, &s.strp, &s.out("sk")).unwrap())
+    });
+    group.bench_function("skyline/output-sensitive", |b| {
+        b.iter(|| skyline::skyline_output_sensitive(&s.dfs, &s.strp, &s.out("os")).unwrap())
+    });
+    group.bench_function("hull/spatial", |b| {
+        b.iter(|| convex_hull::hull_spatial(&s.dfs, &s.strp, &s.out("hs")).unwrap())
+    });
+    group.bench_function("hull/enhanced", |b| {
+        b.iter(|| convex_hull::hull_enhanced(&s.dfs, &s.strp, &s.out("he")).unwrap())
+    });
+    group.bench_function("closest-pair/spatial", |b| {
+        b.iter(|| closest_pair::closest_pair_spatial(&s.dfs, &s.strp, &s.out("cp")).unwrap())
+    });
+    group.bench_function("farthest-pair/spatial", |b| {
+        b.iter(|| farthest_pair::farthest_pair_spatial(&s.dfs, &s.strp, &s.out("fp")).unwrap())
+    });
+    group.bench_function("voronoi/spatial", |b| {
+        b.iter(|| voronoi::voronoi_spatial(&s.dfs, &s.grid, &s.out("vd")).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_join_and_union(c: &mut Criterion) {
+    let uni = default_universe();
+    let dfs = fresh_dfs(BLOCK);
+    let left = rects(4_000, &uni, 5_000.0, 2);
+    let right = rects(4_000, &uni, 5_000.0, 3);
+    upload(&dfs, "/l", &left).unwrap();
+    upload(&dfs, "/r", &right).unwrap();
+    let fa = build_index::<Rect>(&dfs, "/l", "/ja", PartitionKind::Grid)
+        .unwrap()
+        .value;
+    let fb = build_index::<Rect>(&dfs, "/r", "/jb", PartitionKind::Grid)
+        .unwrap()
+        .value;
+    let polys = osm_like_polygons(400, &uni, 8_000.0, 4);
+    upload(&dfs, "/polys", &polys).unwrap();
+    let sp = build_index::<Polygon>(&dfs, "/polys", "/up", PartitionKind::StrPlus)
+        .unwrap()
+        .value;
+    let seq = std::cell::Cell::new(0usize);
+    let out = |tag: &str| {
+        let n = seq.get();
+        seq.set(n + 1);
+        format!("/bench-out2/{tag}-{n}")
+    };
+    let mut group = c.benchmark_group("join-union");
+    group.sample_size(10);
+    group.bench_function("join/sjmr", |b| {
+        b.iter(|| join::sjmr(&dfs, "/l", "/r", &uni, 25, &out("sj")).unwrap())
+    });
+    group.bench_function("join/distributed", |b| {
+        b.iter(|| join::distributed_join(&dfs, &fa, &fb, &out("dj")).unwrap())
+    });
+    group.bench_function("union/enhanced", |b| {
+        b.iter(|| union::union_enhanced(&dfs, &sp, &out("ue")).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let uni = default_universe();
+    let mut group = c.benchmark_group("index-build");
+    group.sample_size(10);
+    for kind in [
+        PartitionKind::Grid,
+        PartitionKind::StrPlus,
+        PartitionKind::QuadTree,
+    ] {
+        group.bench_function(format!("build/{}", kind.name()), |b| {
+            b.iter_with_setup(
+                || {
+                    let dfs = fresh_dfs(BLOCK);
+                    let pts = points(N, Distribution::Uniform, &uni, 5);
+                    upload(&dfs, "/heap", &pts).unwrap();
+                    dfs
+                },
+                |dfs| build_index::<Point>(&dfs, "/heap", "/idx", kind).unwrap(),
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use sh_core::ops::{knn_join, plot};
+    let s = Setup::new();
+    let uni = default_universe();
+    let dfs2 = fresh_dfs(BLOCK);
+    let r = points(5_000, Distribution::Uniform, &uni, 9);
+    let q = points(5_000, Distribution::Uniform, &uni, 10);
+    sh_core::storage::upload(&dfs2, "/kr", &r).unwrap();
+    sh_core::storage::upload(&dfs2, "/ks", &q).unwrap();
+    let rf = build_index::<Point>(&dfs2, "/kr", "/kri", PartitionKind::StrPlus)
+        .unwrap()
+        .value;
+    let sf = build_index::<Point>(&dfs2, "/ks", "/ksi", PartitionKind::StrPlus)
+        .unwrap()
+        .value;
+    let seq = std::cell::Cell::new(0usize);
+    let out = |tag: &str| {
+        let n = seq.get();
+        seq.set(n + 1);
+        format!("/bench-ext/{tag}-{n}")
+    };
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("knn-join/k5", |b| {
+        b.iter(|| knn_join::knn_join_spatial(&dfs2, &rf, &sf, 5, &out("kj")).unwrap())
+    });
+    group.bench_function("plot/256x256", |b| {
+        b.iter(|| plot::plot_spatial::<Point>(&s.dfs, &s.strp, 256, 256, &s.out("pl")).unwrap())
+    });
+    group.bench_function("delaunay/spatial", |b| {
+        b.iter(|| sh_core::ops::delaunay::delaunay_spatial(&s.dfs, &s.grid, &s.out("dt")).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queries,
+    bench_cg_ops,
+    bench_join_and_union,
+    bench_index_build,
+    bench_extensions
+);
+criterion_main!(benches);

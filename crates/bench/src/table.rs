@@ -1,0 +1,126 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A result table: title, column header, and rows of cells.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    pub id: String,
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// One-line interpretation appended under the table (the "shape"
+    /// the paper's figure shows).
+    pub note: String,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(id: &str, title: &str, header: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            note: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Sets the interpretation note.
+    pub fn with_note(mut self, note: &str) -> Table {
+        self.note = note.to_string();
+        self
+    }
+}
+
+/// Formats seconds compactly.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as `12.3x`.
+pub fn speedup(base: f64, other: f64) -> String {
+    if other <= 0.0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}x", base / other)
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        writeln!(f)?;
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                s.push_str(&format!(" {:<width$} |", c, width = widths[i]));
+            }
+            s
+        };
+        writeln!(f, "{}", fmt_row(&self.header))?;
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        writeln!(f, "{sep}")?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        if !self.note.is_empty() {
+            writeln!(f)?;
+            writeln!(f, "> {}", self.note)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown_table() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into(), "two".into()]);
+        let s = t.with_note("shape holds").to_string();
+        assert!(s.contains("## E0 — demo"));
+        assert!(s.contains("| a | b   |"));
+        assert!(s.contains("| 1 | two |"));
+        assert!(s.contains("> shape holds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_is_checked() {
+        let mut t = Table::new("E0", "demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(secs(0.1234), "0.123");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(1234.0), "1234");
+        assert_eq!(speedup(10.0, 2.0), "5.0x");
+        assert_eq!(speedup(10.0, 0.0), "-");
+    }
+}

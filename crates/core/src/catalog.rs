@@ -1,0 +1,227 @@
+//! The indexed-file catalogue: SpatialHadoop's `_master` file.
+//!
+//! An indexed file is a DFS directory holding one `part-NNNNN` file per
+//! spatial partition plus a `_master` text file the master node reads to
+//! plan jobs. Exactly like SpatialHadoop, the master file is a small,
+//! human-readable text table: a header naming the partitioning technique
+//! and the universe, then one line per partition with its boundary cell,
+//! actual data MBR, record count, size, and file name.
+
+use sh_dfs::{Dfs, DfsError};
+use sh_geom::Rect;
+use sh_index::{PartitionKind, PartitionMeta};
+
+use crate::opresult::OpError;
+
+/// Handle to a spatially-indexed file.
+#[derive(Clone, Debug)]
+pub struct SpatialFile {
+    /// Index directory (partitions live at `{dir}/part-NNNNN`).
+    pub dir: String,
+    /// Technique that partitioned the file.
+    pub kind: PartitionKind,
+    /// Universe (MBR of the whole dataset at indexing time).
+    pub universe: Rect,
+    /// Non-empty partitions.
+    pub partitions: Vec<PartitionMeta>,
+}
+
+impl SpatialFile {
+    /// Path of the master file for an index directory.
+    pub fn master_path(dir: &str) -> String {
+        format!("{dir}/_master")
+    }
+
+    /// Whether the underlying partitioning replicates records (pruning
+    /// operations require this).
+    pub fn is_disjoint(&self) -> bool {
+        self.kind.is_disjoint()
+    }
+
+    /// Total records stored (≥ input records for disjoint techniques).
+    pub fn total_records(&self) -> u64 {
+        self.partitions.iter().map(|p| p.records).sum()
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.bytes).sum()
+    }
+
+    /// Serializes and writes the master file.
+    pub fn save(&self, dfs: &Dfs) -> Result<(), DfsError> {
+        let mut text = String::new();
+        text.push_str(&format!(
+            "SHINDEX {} {} {} {} {}\n",
+            self.kind.name(),
+            self.universe.x1,
+            self.universe.y1,
+            self.universe.x2,
+            self.universe.y2
+        ));
+        for p in &self.partitions {
+            text.push_str(&format!(
+                "{} {} {} {} {} {} {} {} {} {} {} {}\n",
+                p.id,
+                p.cell[0],
+                p.cell[1],
+                p.cell[2],
+                p.cell[3],
+                p.mbr[0],
+                p.mbr[1],
+                p.mbr[2],
+                p.mbr[3],
+                p.records,
+                p.bytes,
+                p.path
+            ));
+        }
+        let path = Self::master_path(&self.dir);
+        if dfs.exists(&path) {
+            dfs.delete(&path);
+        }
+        dfs.write_string(&path, &text)
+    }
+
+    /// Opens an indexed file by reading its master file back.
+    pub fn open(dfs: &Dfs, dir: &str) -> Result<SpatialFile, OpError> {
+        let text = dfs.read_to_string(&Self::master_path(dir))?;
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| OpError::Corrupt(format!("{dir}: empty master file")))?;
+        let mut h = header.split_ascii_whitespace();
+        match h.next() {
+            Some("SHINDEX") => {}
+            other => {
+                return Err(OpError::Corrupt(format!(
+                    "{dir}: bad master header tag {other:?}"
+                )))
+            }
+        }
+        let kind_name = h
+            .next()
+            .ok_or_else(|| OpError::Corrupt(format!("{dir}: missing kind")))?;
+        let kind = PartitionKind::parse(kind_name)
+            .ok_or_else(|| OpError::Corrupt(format!("{dir}: unknown kind {kind_name}")))?;
+        let mut nums = [0f64; 4];
+        for slot in nums.iter_mut() {
+            *slot = h
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| OpError::Corrupt(format!("{dir}: bad universe")))?;
+        }
+        let universe = Rect::new(nums[0], nums[1], nums[2], nums[3]);
+        let mut partitions = Vec::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+            if toks.len() != 12 {
+                return Err(OpError::Corrupt(format!(
+                    "{dir}: bad partition line: {line:?}"
+                )));
+            }
+            let f = |i: usize| -> Result<f64, OpError> {
+                toks[i]
+                    .parse()
+                    .map_err(|_| OpError::Corrupt(format!("{dir}: bad number {:?}", toks[i])))
+            };
+            partitions.push(PartitionMeta {
+                id: toks[0]
+                    .parse()
+                    .map_err(|_| OpError::Corrupt(format!("{dir}: bad id {:?}", toks[0])))?,
+                cell: [f(1)?, f(2)?, f(3)?, f(4)?],
+                mbr: [f(5)?, f(6)?, f(7)?, f(8)?],
+                records: toks[9]
+                    .parse()
+                    .map_err(|_| OpError::Corrupt(format!("{dir}: bad records")))?,
+                bytes: toks[10]
+                    .parse()
+                    .map_err(|_| OpError::Corrupt(format!("{dir}: bad bytes")))?,
+                path: toks[11].to_string(),
+            });
+        }
+        Ok(SpatialFile {
+            dir: dir.to_string(),
+            kind,
+            universe,
+            partitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sh_dfs::ClusterConfig;
+
+    fn sample_file() -> SpatialFile {
+        SpatialFile {
+            dir: "/idx".into(),
+            kind: PartitionKind::StrPlus,
+            universe: Rect::new(0.0, 0.0, 100.0, 100.0),
+            partitions: vec![
+                PartitionMeta {
+                    id: 0,
+                    path: "/idx/part-00000".into(),
+                    cell: [0.0, 0.0, 50.0, 100.0],
+                    mbr: [1.0, 2.0, 49.0, 98.0],
+                    records: 500,
+                    bytes: 9000,
+                },
+                PartitionMeta {
+                    id: 1,
+                    path: "/idx/part-00001".into(),
+                    cell: [50.0, 0.0, 100.0, 100.0],
+                    mbr: [51.0, 0.5, 99.0, 99.0],
+                    records: 480,
+                    bytes: 8800,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn save_open_roundtrip() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let f = sample_file();
+        f.save(&dfs).unwrap();
+        let g = SpatialFile::open(&dfs, "/idx").unwrap();
+        assert_eq!(g.kind, f.kind);
+        assert_eq!(g.universe, f.universe);
+        assert_eq!(g.partitions.len(), 2);
+        assert_eq!(g.partitions[1].records, 480);
+        assert_eq!(
+            g.partitions[0].cell_rect(),
+            Rect::new(0.0, 0.0, 50.0, 100.0)
+        );
+        assert_eq!(g.total_records(), 980);
+        assert_eq!(g.total_bytes(), 17_800);
+        assert!(g.is_disjoint());
+    }
+
+    #[test]
+    fn open_missing_or_corrupt() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        assert!(SpatialFile::open(&dfs, "/nope").is_err());
+        dfs.write_string("/bad/_master", "GARBAGE\n").unwrap();
+        assert!(matches!(
+            SpatialFile::open(&dfs, "/bad"),
+            Err(OpError::Corrupt(_))
+        ));
+        dfs.write_string("/bad2/_master", "SHINDEX grid 0 0 1 1\n1 2 3\n")
+            .unwrap();
+        assert!(SpatialFile::open(&dfs, "/bad2").is_err());
+    }
+
+    #[test]
+    fn save_overwrites() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let f = sample_file();
+        f.save(&dfs).unwrap();
+        f.save(&dfs).unwrap(); // no AlreadyExists error
+        assert!(SpatialFile::open(&dfs, "/idx").is_ok());
+    }
+}

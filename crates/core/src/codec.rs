@@ -1,0 +1,76 @@
+//! Tiny text codecs for intermediate values and aux payloads.
+//!
+//! Operations ship small driver-computed payloads to mappers through
+//! `InputSplit::aux` (e.g. dominance-power sets, partition boxes) and
+//! encode geometric results as output lines; this module centralizes
+//! those encodings.
+
+use sh_geom::{Point, Rect};
+
+/// Encodes points as `x y x y ...`.
+pub fn encode_points(points: &[Point]) -> String {
+    let mut s = String::with_capacity(points.len() * 16);
+    for p in points {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&format!("{} {}", p.x, p.y));
+    }
+    s
+}
+
+/// Decodes `x y x y ...`.
+pub fn decode_points(s: &str) -> Vec<Point> {
+    let nums: Vec<f64> = s
+        .split_ascii_whitespace()
+        .map(|t| t.parse().expect("bad point payload"))
+        .collect();
+    nums.chunks_exact(2)
+        .map(|c| Point::new(c[0], c[1]))
+        .collect()
+}
+
+/// Encodes rects as `x1 y1 x2 y2 ...`.
+pub fn encode_rects(rects: &[Rect]) -> String {
+    let mut s = String::with_capacity(rects.len() * 32);
+    for r in rects {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        s.push_str(&format!("{} {} {} {}", r.x1, r.y1, r.x2, r.y2));
+    }
+    s
+}
+
+/// Decodes `x1 y1 x2 y2 ...`.
+pub fn decode_rects(s: &str) -> Vec<Rect> {
+    let nums: Vec<f64> = s
+        .split_ascii_whitespace()
+        .map(|t| t.parse().expect("bad rect payload"))
+        .collect();
+    nums.chunks_exact(4)
+        .map(|c| Rect::new(c[0], c[1], c[2], c[3]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_roundtrip() {
+        let pts = vec![Point::new(1.5, -2.0), Point::new(0.0, 3.25)];
+        assert_eq!(decode_points(&encode_points(&pts)), pts);
+        assert!(decode_points("").is_empty());
+    }
+
+    #[test]
+    fn rects_roundtrip() {
+        let rs = vec![
+            Rect::new(0.0, 1.0, 2.0, 3.0),
+            Rect::new(-1.0, -1.0, 1.0, 1.0),
+        ];
+        assert_eq!(decode_rects(&encode_rects(&rs)), rs);
+        assert!(decode_rects("").is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! The spatial MapReduce layer: SpatialFileSplitter, SpatialRecordReader,
+//! and the reference-point duplicate-avoidance rule.
+
+use sh_dfs::{Dfs, DfsError};
+use sh_geom::{Point, Record, Rect};
+use sh_index::{owns_point, LocalRTree};
+use sh_mapreduce::InputSplit;
+
+use crate::catalog::SpatialFile;
+
+/// SpatialFileSplitter: turns an indexed file into map-task splits, one
+/// per partition that passes the *filter function* — the mechanism every
+/// SpatialHadoop operation uses to prune partitions that cannot
+/// contribute to its answer.
+pub struct SpatialFileSplitter;
+
+impl SpatialFileSplitter {
+    /// One split per partition with `filter(meta) == true`. The split
+    /// carries the partition id and boundary cell so the map function can
+    /// apply partition-relative pruning rules.
+    pub fn splits(
+        dfs: &Dfs,
+        file: &SpatialFile,
+        mut filter: impl FnMut(&sh_index::PartitionMeta) -> bool,
+    ) -> Result<Vec<InputSplit>, DfsError> {
+        let mut out = Vec::new();
+        for meta in &file.partitions {
+            if !filter(meta) {
+                continue;
+            }
+            let split = InputSplit::whole_file(dfs, &meta.path)?.with_partition(meta.id, meta.cell);
+            out.push(split);
+        }
+        Ok(out)
+    }
+
+    /// All partitions (no filtering).
+    pub fn all_splits(dfs: &Dfs, file: &SpatialFile) -> Result<Vec<InputSplit>, DfsError> {
+        Self::splits(dfs, file, |_| true)
+    }
+}
+
+/// SpatialRecordReader: parses a split's text back into records and can
+/// bulk-load the partition's local R-tree for index-assisted map
+/// functions.
+pub struct SpatialRecordReader;
+
+impl SpatialRecordReader {
+    /// Parses every line of a split as a record.
+    ///
+    /// Map tasks treat unparseable lines as data corruption and panic
+    /// (Hadoop would fail the task attempt); loaders validate input, so
+    /// this never fires on files written by this crate.
+    pub fn records<R: Record>(data: &str) -> Vec<R> {
+        data.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| R::parse_line(l).expect("corrupt record in partition"))
+            .collect()
+    }
+
+    /// Parses records and bulk-loads the local index over their MBRs.
+    pub fn with_index<R: Record>(data: &str) -> (Vec<R>, LocalRTree) {
+        let records = Self::records::<R>(data);
+        let tree = LocalRTree::build(records.iter().map(|r| r.mbr()).collect());
+        (records, tree)
+    }
+}
+
+/// The partition cell of a split (panics when the split is not spatial —
+/// a programming error in an operation).
+pub fn split_cell(split: &InputSplit) -> Rect {
+    let m = split.mbr.expect("spatial split carries its partition cell");
+    Rect::new(m[0], m[1], m[2], m[3])
+}
+
+/// Reference-point duplicate avoidance: with disjoint partitioning and
+/// replication, a result involving rectangles `a` and `b` is reported
+/// only by the partition that *owns* the bottom-left corner of `a ∩ b`.
+///
+/// Both `a` and `b` overlap every partition that can see the pair, and
+/// the corner lies inside both, so exactly one of the partitions
+/// processing the pair owns it — each result is reported exactly once.
+pub fn reference_point(a: &Rect, b: &Rect) -> Option<Point> {
+    a.intersection(b).map(|i| Point::new(i.x1, i.y1))
+}
+
+/// True when `cell` owns the reference point of `a ∩ b` within
+/// `universe` (see [`reference_point`]).
+pub fn owns_pair(cell: &Rect, universe: &Rect, a: &Rect, b: &Rect) -> bool {
+    match reference_point(a, b) {
+        Some(p) => owns_point(cell, &p, universe),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sh_dfs::ClusterConfig;
+    use sh_geom::Point;
+    use sh_index::{PartitionKind, PartitionMeta};
+
+    fn indexed_file(dfs: &Dfs) -> SpatialFile {
+        dfs.write_string("/idx/part-00000", "1 1\n2 2\n").unwrap();
+        dfs.write_string("/idx/part-00001", "60 60\n70 70\n")
+            .unwrap();
+        SpatialFile {
+            dir: "/idx".into(),
+            kind: PartitionKind::Grid,
+            universe: Rect::new(0.0, 0.0, 100.0, 100.0),
+            partitions: vec![
+                PartitionMeta {
+                    id: 0,
+                    path: "/idx/part-00000".into(),
+                    cell: [0.0, 0.0, 50.0, 50.0],
+                    mbr: [1.0, 1.0, 2.0, 2.0],
+                    records: 2,
+                    bytes: 8,
+                },
+                PartitionMeta {
+                    id: 1,
+                    path: "/idx/part-00001".into(),
+                    cell: [50.0, 50.0, 100.0, 100.0],
+                    mbr: [60.0, 60.0, 70.0, 70.0],
+                    records: 2,
+                    bytes: 12,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn splitter_applies_filter() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let f = indexed_file(&dfs);
+        let all = SpatialFileSplitter::all_splits(&dfs, &f).unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].partition_id, Some(0));
+        let q = Rect::new(55.0, 55.0, 65.0, 65.0);
+        let pruned =
+            SpatialFileSplitter::splits(&dfs, &f, |m| m.mbr_rect().intersects(&q)).unwrap();
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].partition_id, Some(1));
+        assert_eq!(split_cell(&pruned[0]), Rect::new(50.0, 50.0, 100.0, 100.0));
+    }
+
+    #[test]
+    fn record_reader_roundtrip_with_index() {
+        let data = "1 2\n3 4\n5 6\n";
+        let (records, tree) = SpatialRecordReader::with_index::<Point>(data);
+        assert_eq!(records.len(), 3);
+        assert_eq!(tree.len(), 3);
+        let hits = tree.query(&Rect::new(2.0, 3.0, 4.0, 5.0));
+        assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn reference_point_is_owned_once() {
+        let universe = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let cells = [
+            Rect::new(0.0, 0.0, 50.0, 50.0),
+            Rect::new(50.0, 0.0, 100.0, 50.0),
+            Rect::new(0.0, 50.0, 50.0, 100.0),
+            Rect::new(50.0, 50.0, 100.0, 100.0),
+        ];
+        // A pair of rects straddling the center: both replicated to all 4
+        // cells; exactly one cell may report.
+        let a = Rect::new(45.0, 45.0, 55.0, 55.0);
+        let b = Rect::new(48.0, 48.0, 60.0, 60.0);
+        let owners = cells
+            .iter()
+            .filter(|c| owns_pair(c, &universe, &a, &b))
+            .count();
+        assert_eq!(owners, 1);
+        // Disjoint rects have no reference point.
+        assert!(!owns_pair(
+            &cells[0],
+            &universe,
+            &Rect::new(0.0, 0.0, 1.0, 1.0),
+            &Rect::new(5.0, 5.0, 6.0, 6.0)
+        ));
+    }
+}

@@ -1,0 +1,570 @@
+//! Spatial join: all intersecting pairs between two rectangle datasets.
+//!
+//! * **SJMR** (Spatial Join with MapReduce) — the Hadoop algorithm for
+//!   unindexed inputs: mappers replicate each record to the uniform grid
+//!   cells it overlaps, one reducer per cell runs a plane-sweep join, and
+//!   the reference-point rule keeps each result pair reported once.
+//! * **Distributed join (DJ)** — the SpatialHadoop algorithm for two
+//!   *indexed* inputs: the driver matches overlapping partition pairs of
+//!   the two global indexes, one map task joins each pair with a plane
+//!   sweep — no shuffle at all.
+
+use sh_dfs::Dfs;
+use sh_geom::algorithms::plane_sweep::{plane_sweep_join, plane_sweep_join_into};
+use sh_geom::Rect;
+use sh_index::grid::GridPartitioning;
+use sh_index::owns_point;
+use sh_mapreduce::{
+    InputSplit, JobBuilder, JobOutcome, MapContext, Mapper, ReduceContext, Reducer,
+};
+
+use crate::catalog::SpatialFile;
+use crate::mrlayer::{reference_point, SpatialRecordReader};
+use crate::opresult::{OpError, OpResult};
+
+fn format_pair(a: &Rect, b: &Rect) -> String {
+    format!(
+        "{} {} {} {} {} {} {} {}",
+        a.x1, a.y1, a.x2, a.y2, b.x1, b.y1, b.x2, b.y2
+    )
+}
+
+fn parse_pair(line: &str) -> Result<(Rect, Rect), OpError> {
+    let v: Vec<f64> = line
+        .split_ascii_whitespace()
+        .map(|t| {
+            t.parse()
+                .map_err(|_| OpError::Corrupt(format!("bad join pair: {line:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    if v.len() != 8 {
+        return Err(OpError::Corrupt(format!("bad join pair: {line:?}")));
+    }
+    Ok((
+        Rect::new(v[0], v[1], v[2], v[3]),
+        Rect::new(v[4], v[5], v[6], v[7]),
+    ))
+}
+
+// ------------------------------------------------------------------ SJMR
+
+struct SjmrMapper {
+    grid: GridPartitioning,
+}
+
+impl Mapper for SjmrMapper {
+    type K = u64;
+    type V = (u32, [f64; 4]);
+
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u64, (u32, [f64; 4])>) {
+        for r in SpatialRecordReader::records::<Rect>(data) {
+            for cell in self.grid.assign(&r) {
+                ctx.emit(cell as u64, (split.tag, [r.x1, r.y1, r.x2, r.y2]));
+                ctx.counter("sjmr.replicated", 1);
+            }
+        }
+    }
+}
+
+struct SjmrReducer {
+    grid: GridPartitioning,
+}
+
+impl Reducer for SjmrReducer {
+    type K = u64;
+    type V = (u32, [f64; 4]);
+
+    fn reduce(&self, cell_id: &u64, values: Vec<(u32, [f64; 4])>, ctx: &mut ReduceContext) {
+        let cell = self.grid.cell(*cell_id as usize);
+        let universe = self.grid.universe;
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (tag, c) in values {
+            let r = Rect::new(c[0], c[1], c[2], c[3]);
+            if tag == 0 {
+                left.push(r);
+            } else {
+                right.push(r);
+            }
+        }
+        let mut results = 0u64;
+        plane_sweep_join_into(&left, &right, |i, j| {
+            // Reference-point rule: only the grid cell owning the
+            // bottom-left corner of the intersection reports the pair.
+            if let Some(rp) = reference_point(&left[i], &right[j]) {
+                if owns_point(&cell, &rp, &universe) {
+                    ctx.output(format_pair(&left[i], &right[j]));
+                    results += 1;
+                }
+            }
+        });
+        ctx.counter("join.results", results);
+    }
+}
+
+/// SJMR over two heap files. `universe` must cover both inputs;
+/// `grid_cells` controls the partitioning grain (≈ one cell per reducer).
+pub fn sjmr(
+    dfs: &Dfs,
+    left: &str,
+    right: &str,
+    universe: &Rect,
+    grid_cells: usize,
+    out_dir: &str,
+) -> Result<OpResult<Vec<(Rect, Rect)>>, OpError> {
+    let grid = GridPartitioning::build(*universe, grid_cells);
+    let mut splits = InputSplit::from_file(dfs, left)?;
+    splits.extend(
+        InputSplit::from_file(dfs, right)?
+            .into_iter()
+            .map(|s| s.with_tag(1)),
+    );
+    let reducers = grid.len().min(dfs.config().total_reduce_slots()).max(1);
+    let job = JobBuilder::new(dfs, &format!("sjmr:{left}:{right}"))
+        .input_splits(splits)
+        .mapper(SjmrMapper { grid: grid.clone() })
+        .pair_size(|_, _| 8 + 4 + 32)
+        .reducer(SjmrReducer { grid }, reducers)
+        .output(out_dir)
+        .build()?
+        .run()?;
+    let value = parse_output(dfs, &job)?;
+    Ok(OpResult::new(value, vec![job]))
+}
+
+// ------------------------------------------------------- distributed join
+
+struct DjMapper {
+    dedup_left: bool,
+    dedup_right: bool,
+}
+
+impl Mapper for DjMapper {
+    type K = u8;
+    type V = u8;
+
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        let (left_text, right_text) = split.split_data(data);
+        let left = SpatialRecordReader::records::<Rect>(left_text);
+        let right = SpatialRecordReader::records::<Rect>(right_text);
+        // aux carries: cellA(4) cellB(4) uniA(4) uniB(4)
+        let aux: Vec<f64> = split
+            .aux
+            .as_deref()
+            .expect("dj split carries cell metadata")
+            .split_ascii_whitespace()
+            .map(|t| t.parse().expect("dj aux"))
+            .collect();
+        let cell_a = Rect::new(aux[0], aux[1], aux[2], aux[3]);
+        let cell_b = Rect::new(aux[4], aux[5], aux[6], aux[7]);
+        let uni_a = Rect::new(aux[8], aux[9], aux[10], aux[11]);
+        let uni_b = Rect::new(aux[12], aux[13], aux[14], aux[15]);
+        let mut results = 0u64;
+        plane_sweep_join_into(&left, &right, |i, j| {
+            if let Some(rp) = reference_point(&left[i], &right[j]) {
+                if self.dedup_left && !owns_point(&cell_a, &rp, &uni_a) {
+                    return;
+                }
+                if self.dedup_right && !owns_point(&cell_b, &rp, &uni_b) {
+                    return;
+                }
+                ctx.output(format_pair(&left[i], &right[j]));
+                results += 1;
+            }
+        });
+        ctx.counter("join.results", results);
+    }
+}
+
+/// Driver-side filter step shared by all distributed-join flavours:
+/// build one two-input split per partition pair that can share a result.
+fn pair_splits(dfs: &Dfs, a: &SpatialFile, b: &SpatialFile) -> Result<Vec<InputSplit>, OpError> {
+    // Pair partitions whose *effective regions*
+    // can share a result. For a disjoint index the effective region is
+    // the partition cell (every record is replicated to every cell it
+    // overlaps, and the reference-point rule assigns each result pair to
+    // the cell owning its reference point); for an overlapping index it
+    // is the data MBR. When both sides are disjoint, a zero-area (edge)
+    // intersection can never own a reference point under the half-open
+    // rule, so such pairs are pruned too — this is what keeps the pair
+    // count near-linear instead of pairing every cell with all its
+    // neighbours.
+    let both_disjoint = a.is_disjoint() && b.is_disjoint();
+    let region = |f: &SpatialFile, m: &sh_index::PartitionMeta| {
+        if f.is_disjoint() {
+            m.cell_rect()
+        } else {
+            m.mbr_rect()
+        }
+    };
+    let regions_a: Vec<Rect> = a.partitions.iter().map(|m| region(a, m)).collect();
+    let regions_b: Vec<Rect> = b.partitions.iter().map(|m| region(b, m)).collect();
+    let mut pairs = plane_sweep_join(&regions_a, &regions_b);
+    if both_disjoint {
+        pairs.retain(|&(i, j)| {
+            match regions_a[i].intersection(&regions_b[j]) {
+                None => false,
+                Some(x) if x.area() > 0.0 => true,
+                // Degenerate edge intersections only matter on the
+                // closed universe maximum boundaries.
+                Some(x) => {
+                    (x.width() == 0.0 && (x.x1 >= a.universe.x2 || x.x1 >= b.universe.x2))
+                        || (x.height() == 0.0 && (x.y1 >= a.universe.y2 || x.y1 >= b.universe.y2))
+                }
+            }
+        });
+    }
+
+    let mut splits = Vec::with_capacity(pairs.len());
+    for (i, j) in &pairs {
+        let pa = &a.partitions[*i];
+        let pb = &b.partitions[*j];
+        let left = InputSplit::whole_file(dfs, &pa.path)?;
+        let right = InputSplit::whole_file(dfs, &pb.path)?;
+        let first_bytes = left.len();
+        let mut blocks = left.blocks;
+        blocks.extend(right.blocks);
+        let aux = format!(
+            "{} {} {} {} {} {} {} {} {} {} {} {} {} {} {} {}",
+            pa.cell[0],
+            pa.cell[1],
+            pa.cell[2],
+            pa.cell[3],
+            pb.cell[0],
+            pb.cell[1],
+            pb.cell[2],
+            pb.cell[3],
+            a.universe.x1,
+            a.universe.y1,
+            a.universe.x2,
+            a.universe.y2,
+            b.universe.x1,
+            b.universe.y1,
+            b.universe.x2,
+            b.universe.y2,
+        );
+        splits.push(InputSplit {
+            path: format!("{}+{}", pa.path, pb.path),
+            blocks,
+            tag: 0,
+            partition_id: Some(i * b.partitions.len() + j),
+            mbr: Some(pa.cell),
+            first_input_bytes: Some(first_bytes),
+            aux: Some(aux),
+        });
+    }
+    Ok(splits)
+}
+
+/// Distributed join over two indexed files (the SpatialHadoop operation).
+pub fn distributed_join(
+    dfs: &Dfs,
+    a: &SpatialFile,
+    b: &SpatialFile,
+    out_dir: &str,
+) -> Result<OpResult<Vec<(Rect, Rect)>>, OpError> {
+    let splits = pair_splits(dfs, a, b)?;
+    let total_pairs = a.partitions.len() * b.partitions.len();
+    let processed = splits.len();
+    let mut job = JobBuilder::new(dfs, &format!("dj:{}:{}", a.dir, b.dir))
+        .input_splits(splits)
+        .mapper(DjMapper {
+            dedup_left: a.is_disjoint(),
+            dedup_right: b.is_disjoint(),
+        })
+        .output(out_dir)
+        .map_only()?
+        .run()?;
+    job.counters
+        .insert("join.pairs.considered".into(), total_pairs as u64);
+    job.counters
+        .insert("join.pairs.processed".into(), processed as u64);
+    let value = parse_output(dfs, &job)?;
+    Ok(OpResult::new(value, vec![job]))
+}
+
+// -------------------------------------------------- polygon overlap join
+
+struct PolygonDjMapper {
+    dedup_left: bool,
+    dedup_right: bool,
+}
+
+impl Mapper for PolygonDjMapper {
+    type K = u8;
+    type V = u8;
+
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        use sh_geom::Polygon;
+        let (left_text, right_text) = split.split_data(data);
+        let left = SpatialRecordReader::records::<Polygon>(left_text);
+        let right = SpatialRecordReader::records::<Polygon>(right_text);
+        let left_mbrs: Vec<Rect> = left.iter().map(sh_geom::Record::mbr).collect();
+        let right_mbrs: Vec<Rect> = right.iter().map(sh_geom::Record::mbr).collect();
+        let aux: Vec<f64> = split
+            .aux
+            .as_deref()
+            .expect("dj split carries cell metadata")
+            .split_ascii_whitespace()
+            .map(|t| t.parse().expect("dj aux"))
+            .collect();
+        let cell_a = Rect::new(aux[0], aux[1], aux[2], aux[3]);
+        let cell_b = Rect::new(aux[4], aux[5], aux[6], aux[7]);
+        let uni_a = Rect::new(aux[8], aux[9], aux[10], aux[11]);
+        let uni_b = Rect::new(aux[12], aux[13], aux[14], aux[15]);
+        let mut results = 0u64;
+        // MBR plane sweep as the filter, exact polygon test as the
+        // refinement — the classic filter-and-refine join.
+        plane_sweep_join_into(&left_mbrs, &right_mbrs, |i, j| {
+            if let Some(rp) = reference_point(&left_mbrs[i], &right_mbrs[j]) {
+                if self.dedup_left && !owns_point(&cell_a, &rp, &uni_a) {
+                    return;
+                }
+                if self.dedup_right && !owns_point(&cell_b, &rp, &uni_b) {
+                    return;
+                }
+                ctx.counter("join.refine.candidates", 1);
+                if left[i].intersects(&right[j]) {
+                    ctx.output(format!(
+                        "{} | {}",
+                        sh_geom::Record::to_line(&left[i]),
+                        sh_geom::Record::to_line(&right[j])
+                    ));
+                    results += 1;
+                }
+            }
+        });
+        ctx.counter("join.results", results);
+    }
+}
+
+/// Distributed *polygon* overlap join over two indexed polygon files —
+/// the paper's motivating workload (e.g. lakes x parks): MBR sweep as
+/// the filter step, exact polygon intersection as the refinement.
+pub fn polygon_join(
+    dfs: &Dfs,
+    a: &SpatialFile,
+    b: &SpatialFile,
+    out_dir: &str,
+) -> Result<OpResult<Vec<(sh_geom::Polygon, sh_geom::Polygon)>>, OpError> {
+    let splits = pair_splits(dfs, a, b)?;
+    let job = JobBuilder::new(dfs, &format!("polyjoin:{}:{}", a.dir, b.dir))
+        .input_splits(splits)
+        .mapper(PolygonDjMapper {
+            dedup_left: a.is_disjoint(),
+            dedup_right: b.is_disjoint(),
+        })
+        .output(out_dir)
+        .map_only()?
+        .run()?;
+    let mut value = Vec::new();
+    for line in job.read_output(dfs)? {
+        let (l, r) = line
+            .split_once(" | ")
+            .ok_or_else(|| OpError::Corrupt(format!("bad polygon pair: {line:?}")))?;
+        value.push((
+            <sh_geom::Polygon as sh_geom::Record>::parse_line(l).map_err(OpError::from)?,
+            <sh_geom::Polygon as sh_geom::Record>::parse_line(r).map_err(OpError::from)?,
+        ));
+    }
+    Ok(OpResult::new(value, vec![job]))
+}
+
+fn parse_output(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<(Rect, Rect)>, OpError> {
+    job.read_output(dfs)?
+        .iter()
+        .map(|l| parse_pair(l))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::single;
+    use crate::storage::{build_index, upload};
+    use sh_dfs::ClusterConfig;
+    use sh_index::PartitionKind;
+    use sh_workload::rects;
+
+    fn canon(mut v: Vec<(Rect, Rect)>) -> Vec<String> {
+        let mut out: Vec<String> = v.drain(..).map(|(a, b)| format_pair(&a, &b)).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn expected_pairs(left: &[Rect], right: &[Rect]) -> Vec<(Rect, Rect)> {
+        single::spatial_join(left, right)
+            .value
+            .into_iter()
+            .map(|(i, j)| (left[i], right[j]))
+            .collect()
+    }
+
+    #[test]
+    fn sjmr_matches_baseline_without_duplicates() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let left = rects(800, &uni, 40.0, 1);
+        let right = rects(800, &uni, 40.0, 2);
+        upload(&dfs, "/l", &left).unwrap();
+        upload(&dfs, "/r", &right).unwrap();
+        let got = sjmr(&dfs, "/l", "/r", &uni, 16, "/out").unwrap();
+        let expected = expected_pairs(&left, &right);
+        assert!(!expected.is_empty());
+        // Exact multiset equality: reference point rule removed dups.
+        let mut got_lines: Vec<String> = got.value.iter().map(|(a, b)| format_pair(a, b)).collect();
+        got_lines.sort();
+        let mut exp_lines: Vec<String> = expected.iter().map(|(a, b)| format_pair(a, b)).collect();
+        exp_lines.sort();
+        assert_eq!(got_lines, exp_lines);
+        assert!(
+            got.counter("sjmr.replicated") > 1600 - 1,
+            "replication happened"
+        );
+    }
+
+    #[test]
+    fn distributed_join_matches_baseline_disjoint_indexes() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let left = rects(700, &uni, 50.0, 3);
+        let right = rects(700, &uni, 50.0, 4);
+        upload(&dfs, "/l", &left).unwrap();
+        upload(&dfs, "/r", &right).unwrap();
+        let fa = build_index::<Rect>(&dfs, "/l", "/ia", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        let fb = build_index::<Rect>(&dfs, "/r", "/ib", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        let got = distributed_join(&dfs, &fa, &fb, "/out").unwrap();
+        assert_eq!(
+            canon(got.value.clone()),
+            canon(expected_pairs(&left, &right))
+        );
+        // Exactly once each (no dup elimination needed in canon).
+        assert_eq!(got.value.len(), expected_pairs(&left, &right).len());
+    }
+
+    #[test]
+    fn distributed_join_matches_baseline_overlapping_indexes() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let left = rects(600, &uni, 30.0, 5);
+        let right = rects(600, &uni, 30.0, 6);
+        upload(&dfs, "/l", &left).unwrap();
+        upload(&dfs, "/r", &right).unwrap();
+        let fa = build_index::<Rect>(&dfs, "/l", "/ia", PartitionKind::Str)
+            .unwrap()
+            .value;
+        let fb = build_index::<Rect>(&dfs, "/r", "/ib", PartitionKind::Str)
+            .unwrap()
+            .value;
+        let got = distributed_join(&dfs, &fa, &fb, "/out").unwrap();
+        assert_eq!(got.value.len(), expected_pairs(&left, &right).len());
+        assert_eq!(
+            canon(got.value.clone()),
+            canon(expected_pairs(&left, &right))
+        );
+        // The filter step pruned some partition pairs.
+        assert!(got.counter("join.pairs.processed") < got.counter("join.pairs.considered"));
+    }
+
+    #[test]
+    fn mixed_disjoint_and_overlapping() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let left = rects(500, &uni, 40.0, 7);
+        let right = rects(500, &uni, 40.0, 8);
+        upload(&dfs, "/l", &left).unwrap();
+        upload(&dfs, "/r", &right).unwrap();
+        let fa = build_index::<Rect>(&dfs, "/l", "/ia", PartitionKind::StrPlus)
+            .unwrap()
+            .value;
+        let fb = build_index::<Rect>(&dfs, "/r", "/ib", PartitionKind::Hilbert)
+            .unwrap()
+            .value;
+        let got = distributed_join(&dfs, &fa, &fb, "/out").unwrap();
+        assert_eq!(got.value.len(), expected_pairs(&left, &right).len());
+    }
+
+    #[test]
+    fn polygon_join_matches_exact_baseline() {
+        use sh_geom::Polygon;
+        use sh_workload::osm_like_polygons;
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let lakes = osm_like_polygons(150, &uni, 25.0, 10);
+        let parks = osm_like_polygons(150, &uni, 25.0, 11);
+        upload(&dfs, "/lakes", &lakes).unwrap();
+        upload(&dfs, "/parks", &parks).unwrap();
+        let fa = build_index::<Polygon>(&dfs, "/lakes", "/il", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        let fb = build_index::<Polygon>(&dfs, "/parks", "/ip", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        let got = polygon_join(&dfs, &fa, &fb, "/out").unwrap();
+        // Exact baseline: nested loop with the true polygon test.
+        let mut expected = 0usize;
+        for l in &lakes {
+            for p in &parks {
+                if l.intersects(p) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(got.value.len(), expected);
+        assert!(expected > 0, "workload must produce overlaps");
+        // Every reported pair really overlaps.
+        for (l, p) in &got.value {
+            assert!(l.intersects(p));
+        }
+        // The MBR filter admitted more candidates than true results.
+        assert!(got.counter("join.refine.candidates") >= got.value.len() as u64);
+    }
+
+    #[test]
+    fn polygon_join_mixed_index_kinds() {
+        use sh_geom::Polygon;
+        use sh_workload::osm_like_polygons;
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let a = osm_like_polygons(120, &uni, 30.0, 12);
+        let b = osm_like_polygons(120, &uni, 30.0, 13);
+        upload(&dfs, "/a", &a).unwrap();
+        upload(&dfs, "/b", &b).unwrap();
+        let fa = build_index::<Polygon>(&dfs, "/a", "/ia", PartitionKind::StrPlus)
+            .unwrap()
+            .value;
+        let fb = build_index::<Polygon>(&dfs, "/b", "/ib", PartitionKind::Str)
+            .unwrap()
+            .value;
+        let got = polygon_join(&dfs, &fa, &fb, "/out").unwrap();
+        let mut expected = 0usize;
+        for l in &a {
+            for p in &b {
+                if l.intersects(p) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(got.value.len(), expected);
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_result() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let left = rects(50, &uni, 5.0, 9);
+        let right = vec![Rect::new(90.0, 90.0, 91.0, 91.0)];
+        upload(&dfs, "/l", &left).unwrap();
+        upload(&dfs, "/r", &right).unwrap();
+        let got = sjmr(&dfs, "/l", "/r", &uni, 4, "/out").unwrap();
+        assert_eq!(
+            canon(got.value.clone()),
+            canon(expected_pairs(&left, &right))
+        );
+    }
+}

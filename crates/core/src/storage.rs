@@ -1,0 +1,356 @@
+//! The storage/indexing layer: heap-file loading and MapReduce index
+//! building.
+//!
+//! Index construction follows SpatialHadoop's three phases, all paid for
+//! in simulated cluster time:
+//!
+//! 1. **sample** — a map-only job draws a seeded reservoir sample from
+//!    every split and reports each split's MBR and record count;
+//! 2. **boundaries** — the driver (master node) computes the universe and
+//!    the partition boundaries from the sample with the chosen technique;
+//! 3. **partition** — a full MapReduce job routes every record to its
+//!    partition(s) (replicating across disjoint cells where required) and
+//!    writes one `part-NNNNN` file per non-empty partition plus the
+//!    `_master` catalogue.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use sh_dfs::{Dfs, DfsError};
+use sh_geom::{Point, Record, Rect};
+use sh_index::sampler::{reservoir_sample, sample_size};
+use sh_index::{GlobalPartitioning, PartitionKind, PartitionMeta};
+use sh_mapreduce::{InputSplit, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
+
+use crate::catalog::SpatialFile;
+use crate::opresult::{OpError, OpResult};
+
+/// Writes records as a heap (unindexed) text file — the plain Hadoop
+/// loader.
+pub fn upload<R: Record>(dfs: &Dfs, path: &str, records: &[R]) -> Result<(), DfsError> {
+    let mut w = dfs.create(path)?;
+    let mut line = String::with_capacity(48);
+    for r in records {
+        line.clear();
+        r.write_line(&mut line);
+        w.write_line(&line);
+    }
+    w.close();
+    Ok(())
+}
+
+/// Deletes every file under a directory prefix (driver-side cleanup).
+pub fn delete_dir(dfs: &Dfs, dir: &str) {
+    for path in dfs.list(&format!("{dir}/")) {
+        dfs.delete(&path);
+    }
+}
+
+// ---------------------------------------------------------------- sample
+
+struct SampleMapper<R: Record> {
+    per_split: usize,
+    _r: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> Mapper for SampleMapper<R> {
+    type K = u8;
+    type V = u8;
+
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        let seed = split.blocks.first().map(|b| b.id.0).unwrap_or(0) ^ 0x5A17;
+        let mut mbr = Rect::empty();
+        let mut count = 0u64;
+        let centers = data.lines().filter(|l| !l.trim().is_empty()).map(|l| {
+            let r = R::parse_line(l).expect("corrupt record while sampling");
+            count += 1;
+            mbr.expand(&r.mbr());
+            r.mbr().center()
+        });
+        let sample: Vec<Point> = reservoir_sample(centers, self.per_split, seed);
+        for p in sample {
+            ctx.output(format!("S {} {}", p.x, p.y));
+        }
+        if !mbr.is_empty() {
+            ctx.output(format!("M {} {} {} {}", mbr.x1, mbr.y1, mbr.x2, mbr.y2));
+        }
+        ctx.counter("sample.records", count);
+    }
+}
+
+// ------------------------------------------------------------- partition
+
+struct PartitionMapper<R: Record> {
+    gp: Arc<GlobalPartitioning>,
+    _r: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> Mapper for PartitionMapper<R> {
+    type K = u64;
+    type V = String;
+
+    fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u64, String>) {
+        for line in data.lines().filter(|l| !l.trim().is_empty()) {
+            let r = R::parse_line(line).expect("corrupt record while partitioning");
+            let targets = self.gp.assign(&r.mbr());
+            ctx.counter("index.records", 1);
+            ctx.counter("index.replicas", targets.len() as u64);
+            for pid in targets {
+                ctx.emit(pid as u64, line.to_string());
+            }
+        }
+    }
+}
+
+struct PartitionReducer<R: Record> {
+    _r: PhantomData<fn() -> R>,
+}
+
+impl<R: Record> Reducer for PartitionReducer<R> {
+    type K = u64;
+    type V = String;
+
+    fn reduce(&self, pid: &u64, lines: Vec<String>, ctx: &mut ReduceContext) {
+        let name = format!("part-{pid:05}");
+        let mut mbr = Rect::empty();
+        let mut bytes = 0u64;
+        let records = lines.len() as u64;
+        for line in lines {
+            let r = R::parse_line(&line).expect("corrupt record in partition reducer");
+            mbr.expand(&r.mbr());
+            bytes += line.len() as u64 + 1;
+            ctx.side_output(&name, line);
+        }
+        ctx.side_output(
+            "_partmeta",
+            format!(
+                "{pid} {records} {bytes} {} {} {} {}",
+                mbr.x1, mbr.y1, mbr.x2, mbr.y2
+            ),
+        );
+    }
+}
+
+/// Bulk-builds a spatial index over a heap file.
+///
+/// Returns the [`SpatialFile`] handle plus the job outcomes (two rounds:
+/// sample + partition), whose summed simulated time is the index
+/// construction cost that experiment E1 reports.
+pub fn build_index<R: Record>(
+    dfs: &Dfs,
+    heap: &str,
+    index_dir: &str,
+    kind: PartitionKind,
+) -> Result<OpResult<SpatialFile>, OpError> {
+    let stat = dfs.stat(heap)?;
+    let target_partitions = (stat.len.div_ceil(dfs.config().block_size)).max(1) as usize;
+
+    // Phase 1: sample job.
+    let num_splits = stat.num_blocks.max(1);
+    let want_sample = sample_size(stat.len / 16, 0.01); // records ≈ bytes/16
+    let sample_job = JobBuilder::new(dfs, &format!("sample:{heap}"))
+        .input_file(heap)?
+        .mapper(SampleMapper::<R> {
+            per_split: want_sample.div_ceil(num_splits),
+            _r: PhantomData,
+        })
+        .output(&format!("{index_dir}/_sample"))
+        .map_only()?
+        .run()?;
+    let mut sample: Vec<Point> = Vec::new();
+    let mut universe = Rect::empty();
+    for line in sample_job.read_output(dfs)? {
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("S") => {
+                let x: f64 = it.next().unwrap().parse().expect("sample x");
+                let y: f64 = it.next().unwrap().parse().expect("sample y");
+                sample.push(Point::new(x, y));
+            }
+            Some("M") => {
+                let v: Vec<f64> = it.map(|t| t.parse().expect("mbr coord")).collect();
+                universe.expand(&Rect::new(v[0], v[1], v[2], v[3]));
+            }
+            _ => {}
+        }
+    }
+    delete_dir(dfs, &format!("{index_dir}/_sample"));
+    if universe.is_empty() {
+        return Err(OpError::Unsupported(format!("{heap}: empty input file")));
+    }
+
+    // Phase 2: boundaries on the driver.
+    let gp = Arc::new(GlobalPartitioning::build(
+        kind,
+        &sample,
+        universe,
+        target_partitions,
+    ));
+    partition_phase::<R>(dfs, heap, index_dir, gp, vec![sample_job])
+}
+
+/// Indexes a heap file with an *existing* partitioning — co-partitioning
+/// for the distributed join: both join inputs share boundaries, so every
+/// partition pairs with exactly one counterpart.
+pub fn build_index_with<R: Record>(
+    dfs: &Dfs,
+    heap: &str,
+    index_dir: &str,
+    gp: Arc<GlobalPartitioning>,
+) -> Result<OpResult<SpatialFile>, OpError> {
+    partition_phase::<R>(dfs, heap, index_dir, gp, Vec::new())
+}
+
+fn partition_phase<R: Record>(
+    dfs: &Dfs,
+    heap: &str,
+    index_dir: &str,
+    gp: Arc<GlobalPartitioning>,
+    mut jobs: Vec<sh_mapreduce::JobOutcome>,
+) -> Result<OpResult<SpatialFile>, OpError> {
+    let kind = gp.kind();
+    let universe = gp.universe();
+
+    // Phase 3: partition job.
+    let reducers = gp.len().min(dfs.config().total_reduce_slots()).max(1);
+    let partition_job = JobBuilder::new(dfs, &format!("partition:{heap}:{}", kind.name()))
+        .input_file(heap)?
+        .mapper(PartitionMapper::<R> {
+            gp: gp.clone(),
+            _r: PhantomData,
+        })
+        .pair_size(|_, v: &String| 8 + v.len())
+        .reducer(PartitionReducer::<R> { _r: PhantomData }, reducers)
+        .output(index_dir)
+        .build()?
+        .run()?;
+
+    // Assemble and persist the catalogue.
+    let meta_text = dfs.read_to_string(&format!("{index_dir}/_partmeta"))?;
+    let mut partitions: Vec<PartitionMeta> = Vec::new();
+    for line in meta_text.lines() {
+        let toks: Vec<&str> = line.split_ascii_whitespace().collect();
+        let pid: usize = toks[0].parse().expect("pid");
+        let records: u64 = toks[1].parse().expect("records");
+        let bytes: u64 = toks[2].parse().expect("bytes");
+        let m: Vec<f64> = toks[3..7].iter().map(|t| t.parse().expect("mbr")).collect();
+        let cell = gp.cell(pid);
+        partitions.push(PartitionMeta {
+            id: pid,
+            path: format!("{index_dir}/part-{pid:05}"),
+            cell: [cell.x1, cell.y1, cell.x2, cell.y2],
+            mbr: [m[0], m[1], m[2], m[3]],
+            records,
+            bytes,
+        });
+    }
+    partitions.sort_by_key(|p| p.id);
+    let file = SpatialFile {
+        dir: index_dir.to_string(),
+        kind,
+        universe,
+        partitions,
+    };
+    file.save(dfs)?;
+    jobs.push(partition_job);
+    Ok(OpResult::new(file, jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sh_dfs::ClusterConfig;
+    use sh_workload::{points, Distribution};
+
+    fn setup(n: usize) -> (Dfs, Vec<Point>) {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let pts = points(n, Distribution::Uniform, &uni, 11);
+        upload(&dfs, "/heap", &pts).unwrap();
+        (dfs, pts)
+    }
+
+    #[test]
+    fn build_grid_index_covers_all_records() {
+        let (dfs, pts) = setup(3000);
+        let built = build_index::<Point>(&dfs, "/heap", "/idx", PartitionKind::Grid).unwrap();
+        let file = &built.value;
+        assert!(file.partitions.len() > 1, "expected multiple partitions");
+        assert_eq!(
+            file.total_records(),
+            pts.len() as u64,
+            "points are never replicated"
+        );
+        assert_eq!(built.rounds(), 2);
+        // Every partition file exists and parses; data MBR within cell.
+        let mut seen = 0u64;
+        for p in &file.partitions {
+            let text = dfs.read_to_string(&p.path).unwrap();
+            let records: Vec<Point> = sh_geom::text::parse_records(&text).unwrap();
+            assert_eq!(records.len() as u64, p.records);
+            seen += p.records;
+            let cell = p.cell_rect();
+            for r in &records {
+                assert!(
+                    cell.buffer(1e-9).contains_point(r),
+                    "record {r} outside cell {cell}"
+                );
+            }
+            assert!(cell.buffer(1e-9).contains_rect(&p.mbr_rect()));
+        }
+        assert_eq!(seen, pts.len() as u64);
+    }
+
+    #[test]
+    fn master_file_reopens() {
+        let (dfs, _) = setup(1500);
+        let built = build_index::<Point>(&dfs, "/heap", "/idx", PartitionKind::StrPlus).unwrap();
+        let reopened = SpatialFile::open(&dfs, "/idx").unwrap();
+        assert_eq!(reopened.kind, PartitionKind::StrPlus);
+        assert_eq!(reopened.partitions.len(), built.value.partitions.len());
+        assert_eq!(reopened.universe, built.value.universe);
+    }
+
+    #[test]
+    fn rect_records_are_replicated_in_disjoint_indexes() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let rs = sh_workload::rects(1500, &uni, 60.0, 5);
+        upload(&dfs, "/rects", &rs).unwrap();
+        let built = build_index::<Rect>(&dfs, "/rects", "/ridx", PartitionKind::Grid).unwrap();
+        assert!(
+            built.value.total_records() > rs.len() as u64,
+            "large rects must replicate: {} vs {}",
+            built.value.total_records(),
+            rs.len()
+        );
+        assert_eq!(built.counter("index.records"), rs.len() as u64);
+        assert!(built.counter("index.replicas") >= rs.len() as u64);
+    }
+
+    #[test]
+    fn every_technique_builds() {
+        let (dfs, pts) = setup(2000);
+        for (i, kind) in PartitionKind::ALL.into_iter().enumerate() {
+            let dir = format!("/idx{i}");
+            let built = build_index::<Point>(&dfs, "/heap", &dir, kind).unwrap();
+            assert_eq!(
+                built.value.total_records(),
+                pts.len() as u64,
+                "{} lost/duplicated points",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_heap_is_an_error() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let w = dfs.create("/empty").unwrap();
+        w.close();
+        assert!(matches!(
+            build_index::<Point>(&dfs, "/empty", "/idx", PartitionKind::Grid),
+            Err(OpError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Blocks: the unit of storage, replication, and map-task scheduling.
+
+use bytes::Bytes;
+
+use crate::config::NodeId;
+
+/// Globally unique block identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Block payload plus its replica locations.
+#[derive(Clone, Debug)]
+pub struct BlockData {
+    /// Raw record-aligned bytes (newline-terminated text records).
+    pub data: Bytes,
+    /// Nodes holding a replica; the first entry is the "primary" written
+    /// by the creating node.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Location metadata exposed to the MapReduce scheduler — everything it
+/// needs for locality-aware task placement, without the payload.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    /// Block id.
+    pub id: BlockId,
+    /// Payload bytes.
+    pub len: u64,
+    /// Nodes holding a replica.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockData {
+    /// True when at least one replica lives on a node in `alive`.
+    pub fn available(&self, alive: &[bool]) -> bool {
+        self.replicas
+            .iter()
+            .any(|&n| alive.get(n).copied().unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn availability_follows_replicas() {
+        let b = BlockData {
+            data: Bytes::from_static(b"1 2\n"),
+            replicas: vec![0, 2],
+        };
+        assert!(b.available(&[true, true, true]));
+        assert!(b.available(&[false, false, true]));
+        assert!(!b.available(&[false, true, false]));
+    }
+}

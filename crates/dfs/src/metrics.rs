@@ -1,0 +1,106 @@
+//! Byte-level I/O accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative DFS counters.
+///
+/// Every read records whether it was served from a replica on the reading
+/// node (local) or had to cross the network (remote); the cost model
+/// charges them at disk vs. network bandwidth respectively. All counters
+/// are monotonic; [`DfsMetrics::snapshot`] gives a consistent-enough view
+/// for reporting (exactness across counters is not required).
+#[derive(Debug, Default)]
+pub struct DfsMetrics {
+    local_bytes_read: AtomicU64,
+    remote_bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    blocks_read: AtomicU64,
+    blocks_written: AtomicU64,
+}
+
+/// Point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub local_bytes_read: u64,
+    pub remote_bytes_read: u64,
+    pub bytes_written: u64,
+    pub blocks_read: u64,
+    pub blocks_written: u64,
+}
+
+impl DfsMetrics {
+    pub(crate) fn record_read(&self, bytes: u64, local: bool) {
+        if local {
+            self.local_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.remote_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.blocks_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.blocks_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            local_bytes_read: self.local_bytes_read.load(Ordering::Relaxed),
+            remote_bytes_read: self.remote_bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            blocks_read: self.blocks_read.load(Ordering::Relaxed),
+            blocks_written: self.blocks_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total bytes read, local + remote.
+    pub fn total_bytes_read(&self) -> u64 {
+        self.local_bytes_read + self.remote_bytes_read
+    }
+
+    /// Counter-wise difference `self - earlier` (for measuring one job).
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            local_bytes_read: self.local_bytes_read - earlier.local_bytes_read,
+            remote_bytes_read: self.remote_bytes_read - earlier.remote_bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            blocks_written: self.blocks_written - earlier.blocks_written,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = DfsMetrics::default();
+        m.record_read(100, true);
+        m.record_read(50, false);
+        m.record_write(10);
+        let s = m.snapshot();
+        assert_eq!(s.local_bytes_read, 100);
+        assert_eq!(s.remote_bytes_read, 50);
+        assert_eq!(s.total_bytes_read(), 150);
+        assert_eq!(s.bytes_written, 10);
+        assert_eq!(s.blocks_read, 2);
+        assert_eq!(s.blocks_written, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let m = DfsMetrics::default();
+        m.record_read(100, true);
+        let before = m.snapshot();
+        m.record_read(25, false);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.local_bytes_read, 0);
+        assert_eq!(delta.remote_bytes_read, 25);
+        assert_eq!(delta.blocks_read, 1);
+    }
+}

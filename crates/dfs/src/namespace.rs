@@ -1,0 +1,514 @@
+//! The namenode: file namespace, block store, and replica placement.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use rand::prelude::*;
+
+use crate::block::{BlockData, BlockId, BlockInfo};
+use crate::config::{ClusterConfig, NodeId};
+use crate::metrics::DfsMetrics;
+use crate::writer::FileWriter;
+
+/// Errors surfaced by the DFS API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Path already exists (create without overwrite).
+    AlreadyExists(String),
+    /// Every replica of a block is on a dead node.
+    BlockUnavailable(BlockId),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::BlockUnavailable(b) => write!(f, "all replicas lost for block {b:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[derive(Clone, Debug, Default)]
+struct FileMeta {
+    blocks: Vec<BlockId>,
+    len: u64,
+}
+
+/// File-level metadata returned by [`Dfs::stat`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileStat {
+    /// File path.
+    pub path: String,
+    /// Total bytes.
+    pub len: u64,
+    /// Number of blocks.
+    pub num_blocks: usize,
+}
+
+struct Inner {
+    files: BTreeMap<String, FileMeta>,
+    blocks: BTreeMap<BlockId, BlockData>,
+    next_block: u64,
+    next_writer_node: usize,
+    alive: Vec<bool>,
+    rng: StdRng,
+}
+
+/// The simulated distributed file system (namenode + datanodes).
+///
+/// `Dfs` is cheaply cloneable (`Arc` inside) and thread-safe; map and
+/// reduce tasks running on executor threads read blocks through a shared
+/// handle. All mutation goes through one mutex — namenode semantics — and
+/// payload bytes are shared (`bytes::Bytes`), so reads never copy.
+#[derive(Clone)]
+pub struct Dfs {
+    config: Arc<ClusterConfig>,
+    inner: Arc<Mutex<Inner>>,
+    metrics: Arc<DfsMetrics>,
+}
+
+impl Dfs {
+    /// Creates an empty DFS over the given cluster.
+    pub fn new(config: ClusterConfig) -> Dfs {
+        let alive = vec![true; config.num_nodes];
+        let rng = StdRng::seed_from_u64(config.placement_seed);
+        Dfs {
+            config: Arc::new(config),
+            inner: Arc::new(Mutex::new(Inner {
+                files: BTreeMap::new(),
+                blocks: BTreeMap::new(),
+                next_block: 0,
+                next_writer_node: 0,
+                alive,
+                rng,
+            })),
+            metrics: Arc::new(DfsMetrics::default()),
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The I/O counters.
+    pub fn metrics(&self) -> &DfsMetrics {
+        &self.metrics
+    }
+
+    /// Opens a streaming writer; fails if `path` exists.
+    pub fn create(&self, path: &str) -> Result<FileWriter, DfsError> {
+        let mut inner = self.inner.lock();
+        if inner.files.contains_key(path) {
+            return Err(DfsError::AlreadyExists(path.to_string()));
+        }
+        inner.files.insert(path.to_string(), FileMeta::default());
+        // Round-robin "writing node" stands in for the client location.
+        let node = inner.next_writer_node % self.config.num_nodes;
+        inner.next_writer_node += 1;
+        drop(inner);
+        Ok(FileWriter::new(self.clone(), path.to_string(), node))
+    }
+
+    /// Deletes a file and frees its blocks; idempotent.
+    pub fn delete(&self, path: &str) {
+        let mut inner = self.inner.lock();
+        if let Some(meta) = inner.files.remove(path) {
+            for b in meta.blocks {
+                inner.blocks.remove(&b);
+            }
+        }
+    }
+
+    /// True when `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.lock().files.contains_key(path)
+    }
+
+    /// File metadata.
+    pub fn stat(&self, path: &str) -> Result<FileStat, DfsError> {
+        let inner = self.inner.lock();
+        let meta = inner
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        Ok(FileStat {
+            path: path.to_string(),
+            len: meta.len,
+            num_blocks: meta.blocks.len(),
+        })
+    }
+
+    /// Paths with the given prefix, sorted (namespace listing).
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .lock()
+            .files
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Block locations of a file, in order — the scheduler's input.
+    pub fn block_locations(&self, path: &str) -> Result<Vec<BlockInfo>, DfsError> {
+        let inner = self.inner.lock();
+        let meta = inner
+            .files
+            .get(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        Ok(meta
+            .blocks
+            .iter()
+            .map(|&id| {
+                let b = &inner.blocks[&id];
+                BlockInfo {
+                    id,
+                    len: b.data.len() as u64,
+                    replicas: b.replicas.clone(),
+                }
+            })
+            .collect())
+    }
+
+    /// Reads one block from the perspective of `reader`: served locally if
+    /// `reader` holds a live replica, remotely from any live replica
+    /// otherwise. Returns the payload and whether the read was local.
+    pub fn read_block(&self, id: BlockId, reader: NodeId) -> Result<(Bytes, bool), DfsError> {
+        let inner = self.inner.lock();
+        let block = inner
+            .blocks
+            .get(&id)
+            .ok_or(DfsError::BlockUnavailable(id))?;
+        let live = |n: &NodeId| inner.alive.get(*n).copied().unwrap_or(false);
+        if !block.replicas.iter().any(live) {
+            return Err(DfsError::BlockUnavailable(id));
+        }
+        let local = block.replicas.iter().any(|n| *n == reader && live(n));
+        let data = block.data.clone();
+        drop(inner);
+        self.metrics.record_read(data.len() as u64, local);
+        Ok((data, local))
+    }
+
+    /// Convenience: reads a whole file as one string (driver-side use —
+    /// reading back small outputs; charged as remote reads from node 0).
+    pub fn read_to_string(&self, path: &str) -> Result<String, DfsError> {
+        let locations = self.block_locations(path)?;
+        let mut out = String::new();
+        for info in locations {
+            let (bytes, _) = self.read_block(info.id, usize::MAX)?;
+            out.push_str(std::str::from_utf8(&bytes).expect("DFS stores UTF-8 text"));
+        }
+        Ok(out)
+    }
+
+    /// Writes a complete string as a new file (driver-side convenience).
+    pub fn write_string(&self, path: &str, contents: &str) -> Result<(), DfsError> {
+        let mut w = self.create(path)?;
+        w.write_str(contents);
+        w.close();
+        Ok(())
+    }
+
+    /// Marks a datanode dead: its replicas become unreadable.
+    pub fn kill_node(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        if node < inner.alive.len() {
+            inner.alive[node] = false;
+        }
+    }
+
+    /// Revives a datanode.
+    pub fn revive_node(&self, node: NodeId) {
+        let mut inner = self.inner.lock();
+        if node < inner.alive.len() {
+            inner.alive[node] = true;
+        }
+    }
+
+    /// Restores the replication factor of every block that lost replicas
+    /// to dead nodes, copying from a surviving replica onto live nodes —
+    /// the namenode's re-replication pass after failure detection.
+    ///
+    /// Returns the number of new replicas created. Blocks with no
+    /// surviving replica are left unrecoverable (and counted in
+    /// [`Dfs::unrecoverable_blocks`]).
+    pub fn rereplicate(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let replication = self.config.effective_replication();
+        let alive = inner.alive.clone();
+        let live_nodes: Vec<NodeId> = (0..alive.len()).filter(|&n| alive[n]).collect();
+        if live_nodes.is_empty() {
+            return 0;
+        }
+        let mut created = 0usize;
+        let ids: Vec<BlockId> = inner.blocks.keys().copied().collect();
+        for id in ids {
+            // Compute the replacement plan without holding a mutable
+            // borrow on the block.
+            let (mut live_replicas, len) = {
+                let block = &inner.blocks[&id];
+                let live: Vec<NodeId> = block
+                    .replicas
+                    .iter()
+                    .copied()
+                    .filter(|&n| alive.get(n).copied().unwrap_or(false))
+                    .collect();
+                (live, block.data.len() as u64)
+            };
+            if live_replicas.is_empty() || live_replicas.len() >= replication.min(live_nodes.len())
+            {
+                continue;
+            }
+            let mut candidates: Vec<NodeId> = live_nodes
+                .iter()
+                .copied()
+                .filter(|n| !live_replicas.contains(n))
+                .collect();
+            candidates.shuffle(&mut inner.rng);
+            while live_replicas.len() < replication.min(live_nodes.len()) {
+                let Some(target) = candidates.pop() else {
+                    break;
+                };
+                live_replicas.push(target);
+                created += 1;
+                // Copying a block crosses the network once.
+                drop(inner);
+                self.metrics.record_read(len, false);
+                inner = self.inner.lock();
+            }
+            inner.blocks.get_mut(&id).expect("block exists").replicas = live_replicas;
+        }
+        created
+    }
+
+    /// Blocks whose every replica is on a dead node.
+    pub fn unrecoverable_blocks(&self) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .blocks
+            .values()
+            .filter(|b| !b.available(&inner.alive))
+            .count()
+    }
+
+    /// Appends one sealed block to `path` (called by [`FileWriter`]).
+    pub(crate) fn append_block(&self, path: &str, data: Bytes, writer_node: NodeId) {
+        let len = data.len() as u64;
+        let mut inner = self.inner.lock();
+        let id = BlockId(inner.next_block);
+        inner.next_block += 1;
+        let replicas = place_replicas(
+            writer_node,
+            self.config.num_nodes,
+            self.config.effective_replication(),
+            &mut inner.rng,
+        );
+        inner.blocks.insert(id, BlockData { data, replicas });
+        let meta = inner
+            .files
+            .get_mut(path)
+            .expect("writer holds an open file");
+        meta.blocks.push(id);
+        meta.len += len;
+        drop(inner);
+        self.metrics.record_write(len);
+    }
+}
+
+/// HDFS-shaped placement: first replica on the writer, the rest on
+/// distinct random other nodes.
+fn place_replicas(
+    writer: NodeId,
+    num_nodes: usize,
+    replication: usize,
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let primary = writer % num_nodes;
+    let mut replicas = vec![primary];
+    let mut others: Vec<NodeId> = (0..num_nodes).filter(|&n| n != primary).collect();
+    others.shuffle(rng);
+    replicas.extend(others.into_iter().take(replication.saturating_sub(1)));
+    replicas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dfs() -> Dfs {
+        Dfs::new(ClusterConfig::small_for_tests())
+    }
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let fs = dfs();
+        let mut w = fs.create("/data/points").unwrap();
+        w.write_line("1 2");
+        w.write_line("3 4");
+        w.close();
+        assert_eq!(fs.read_to_string("/data/points").unwrap(), "1 2\n3 4\n");
+        let stat = fs.stat("/data/points").unwrap();
+        assert_eq!(stat.len, 8);
+        assert_eq!(stat.num_blocks, 1);
+    }
+
+    #[test]
+    fn create_existing_fails() {
+        let fs = dfs();
+        fs.write_string("/a", "x\n").unwrap();
+        assert!(matches!(fs.create("/a"), Err(DfsError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn blocks_are_record_aligned() {
+        let fs = dfs(); // 8 KiB blocks
+        let mut w = fs.create("/big").unwrap();
+        let line = "x".repeat(100);
+        for _ in 0..1000 {
+            w.write_line(&line);
+        }
+        w.close();
+        let stat = fs.stat("/big").unwrap();
+        assert!(stat.num_blocks > 1, "expected multiple blocks");
+        for info in fs.block_locations("/big").unwrap() {
+            let (bytes, _) = fs.read_block(info.id, 0).unwrap();
+            assert_eq!(bytes.last(), Some(&b'\n'), "block must end at a record");
+            assert!(bytes.len() as u64 <= fs.config().block_size);
+        }
+    }
+
+    #[test]
+    fn replica_placement_width() {
+        let fs = dfs();
+        fs.write_string("/f", &"line\n".repeat(10)).unwrap();
+        for info in fs.block_locations("/f").unwrap() {
+            assert_eq!(info.replicas.len(), fs.config().effective_replication());
+            let mut uniq = info.replicas.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), info.replicas.len(), "replicas must be distinct");
+        }
+    }
+
+    #[test]
+    fn local_vs_remote_reads_are_accounted() {
+        let fs = dfs();
+        fs.write_string("/f", "hello\n").unwrap();
+        let info = &fs.block_locations("/f").unwrap()[0];
+        let holder = info.replicas[0];
+        let non_holder = (0..fs.config().num_nodes)
+            .find(|n| !info.replicas.contains(n))
+            .unwrap();
+        let before = fs.metrics().snapshot();
+        let (_, local) = fs.read_block(info.id, holder).unwrap();
+        assert!(local);
+        let (_, local) = fs.read_block(info.id, non_holder).unwrap();
+        assert!(!local);
+        let delta = fs.metrics().snapshot().since(&before);
+        assert_eq!(delta.local_bytes_read, 6);
+        assert_eq!(delta.remote_bytes_read, 6);
+    }
+
+    #[test]
+    fn node_failure_falls_back_to_replicas() {
+        let fs = dfs();
+        fs.write_string("/f", "payload\n").unwrap();
+        let info = fs.block_locations("/f").unwrap()[0].clone();
+        // Kill all but the last replica: still readable.
+        for &n in &info.replicas[..info.replicas.len() - 1] {
+            fs.kill_node(n);
+        }
+        assert!(fs.read_block(info.id, 0).is_ok());
+        // Kill the last: unavailable.
+        fs.kill_node(*info.replicas.last().unwrap());
+        assert_eq!(
+            fs.read_block(info.id, 0),
+            Err(DfsError::BlockUnavailable(info.id))
+        );
+        // Revive: readable again.
+        fs.revive_node(info.replicas[0]);
+        assert!(fs.read_block(info.id, 0).is_ok());
+    }
+
+    #[test]
+    fn rereplication_restores_the_factor() {
+        let fs = dfs(); // replication = 2, 4 nodes
+        fs.write_string("/f", &"data line\n".repeat(200)).unwrap();
+        fs.kill_node(0);
+        fs.kill_node(1);
+        let lost_before = fs
+            .block_locations("/f")
+            .unwrap()
+            .iter()
+            .filter(|b| b.replicas.iter().all(|&n| n <= 1))
+            .count();
+        assert_eq!(fs.unrecoverable_blocks(), lost_before);
+        let created = fs.rereplicate();
+        if lost_before == 0 {
+            // Every block still has a live replica; factor restored.
+            assert!(
+                created > 0
+                    || fs
+                        .block_locations("/f")
+                        .unwrap()
+                        .iter()
+                        .all(|b| { b.replicas.iter().filter(|&&n| n > 1).count() >= 2 })
+            );
+        }
+        for info in fs.block_locations("/f").unwrap() {
+            let live = info.replicas.iter().filter(|&&n| n > 1).count();
+            if info.replicas.iter().any(|&n| n > 1) {
+                assert_eq!(live, 2, "factor restored on live nodes: {info:?}");
+                // Readable from any node again.
+                assert!(fs.read_block(info.id, 2).is_ok());
+            }
+        }
+        // Idempotent once healthy.
+        assert_eq!(fs.rereplicate(), 0);
+    }
+
+    #[test]
+    fn delete_frees_blocks() {
+        let fs = dfs();
+        fs.write_string("/f", "data\n").unwrap();
+        let info = fs.block_locations("/f").unwrap()[0].clone();
+        fs.delete("/f");
+        assert!(!fs.exists("/f"));
+        assert_eq!(
+            fs.read_block(info.id, 0),
+            Err(DfsError::BlockUnavailable(info.id))
+        );
+        fs.delete("/f"); // idempotent
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let fs = dfs();
+        fs.write_string("/x/a", "1\n").unwrap();
+        fs.write_string("/x/b", "2\n").unwrap();
+        fs.write_string("/y/c", "3\n").unwrap();
+        assert_eq!(fs.list("/x/"), vec!["/x/a".to_string(), "/x/b".to_string()]);
+        assert_eq!(fs.list("/"), vec!["/x/a", "/x/b", "/y/c"]);
+    }
+
+    #[test]
+    fn empty_file_stat() {
+        let fs = dfs();
+        let w = fs.create("/empty").unwrap();
+        w.close();
+        let stat = fs.stat("/empty").unwrap();
+        assert_eq!(stat.len, 0);
+        assert_eq!(stat.num_blocks, 0);
+        assert_eq!(fs.read_to_string("/empty").unwrap(), "");
+    }
+}

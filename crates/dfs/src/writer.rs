@@ -1,0 +1,130 @@
+//! Streaming, record-aligned block writer.
+
+use bytes::Bytes;
+
+use crate::config::NodeId;
+use crate::namespace::Dfs;
+
+/// Writes newline-terminated records into a DFS file, sealing a block
+/// whenever the buffer would exceed the configured block size. Blocks are
+/// always sealed at a record boundary.
+///
+/// Dropping the writer without calling [`FileWriter::close`] flushes the
+/// tail block too (RAII), but `close` is preferred for explicitness.
+pub struct FileWriter {
+    dfs: Dfs,
+    path: String,
+    node: NodeId,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+impl FileWriter {
+    pub(crate) fn new(dfs: Dfs, path: String, node: NodeId) -> FileWriter {
+        let cap = dfs.config().block_size as usize;
+        FileWriter {
+            dfs,
+            path,
+            node,
+            buf: Vec::with_capacity(cap.min(1 << 20)),
+            closed: false,
+        }
+    }
+
+    /// Appends one record (a newline is added).
+    pub fn write_line(&mut self, line: &str) {
+        let needed = line.len() + 1;
+        let block_size = self.dfs.config().block_size as usize;
+        if !self.buf.is_empty() && self.buf.len() + needed > block_size {
+            self.seal_block();
+        }
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// Appends pre-formatted text that already contains its newlines.
+    /// Splits on line boundaries so blocks stay record-aligned.
+    pub fn write_str(&mut self, text: &str) {
+        for line in text.lines() {
+            self.write_line(line);
+        }
+    }
+
+    /// The node this writer is (nominally) running on — first replicas of
+    /// its blocks land here.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Flushes the tail block and finishes the file.
+    pub fn close(mut self) {
+        self.finish();
+    }
+
+    fn seal_block(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let data = Bytes::from(std::mem::take(&mut self.buf));
+        self.dfs.append_block(&self.path, data, self.node);
+    }
+
+    fn finish(&mut self) {
+        if !self.closed {
+            self.seal_block();
+            self.closed = true;
+        }
+    }
+}
+
+impl Drop for FileWriter {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::config::ClusterConfig;
+    use crate::namespace::Dfs;
+
+    #[test]
+    fn drop_flushes_tail() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        {
+            let mut w = fs.create("/f").unwrap();
+            w.write_line("tail");
+        } // dropped without close()
+        assert_eq!(fs.read_to_string("/f").unwrap(), "tail\n");
+    }
+
+    #[test]
+    fn oversized_record_gets_its_own_block() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests()); // 8 KiB blocks
+        let mut w = fs.create("/f").unwrap();
+        let huge = "h".repeat(20_000);
+        w.write_line("small");
+        w.write_line(&huge);
+        w.write_line("after");
+        w.close();
+        let stat = fs.stat("/f").unwrap();
+        assert_eq!(stat.num_blocks, 3);
+        let text = fs.read_to_string("/f").unwrap();
+        assert!(text.starts_with("small\n"));
+        assert!(text.ends_with("after\n"));
+    }
+
+    #[test]
+    fn write_str_matches_write_line() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        fs.write_string("/a", "1 2\n3 4\n").unwrap();
+        let mut w = fs.create("/b").unwrap();
+        w.write_line("1 2");
+        w.write_line("3 4");
+        w.close();
+        assert_eq!(
+            fs.read_to_string("/a").unwrap(),
+            fs.read_to_string("/b").unwrap()
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Convex hull via Andrew's monotone chain (O(n log n)).
+
+use crate::point::Point;
+
+/// Computes the convex hull of `points`.
+///
+/// Returns the hull vertices in counter-clockwise order starting from the
+/// lexicographically smallest point. Collinear points on hull edges are
+/// dropped. Inputs of fewer than three distinct points return the distinct
+/// points themselves.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(Point::cmp_xy);
+    pts.dedup_by(|a, b| a.approx_eq(b));
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // lower chain
+    for p in &pts {
+        while hull.len() >= 2
+            && Point::cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // upper chain
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev() {
+        while hull.len() >= lower_len
+            && Point::cross(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // last point repeats the first
+    hull
+}
+
+/// True when `p` lies inside or on the boundary of the convex polygon
+/// `hull` (vertices in counter-clockwise order, as produced by
+/// [`convex_hull`]).
+pub fn hull_contains(hull: &[Point], p: &Point) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].approx_eq(p),
+        2 => {
+            let seg = crate::segment::Segment::new(hull[0], hull[1]);
+            let t = seg.project_clamped(p);
+            seg.at(t).distance(p) < crate::float::EPS
+        }
+        n => {
+            for i in 0..n {
+                if Point::cross(&hull[i], &hull[(i + 1) % n], p) < -crate::float::EPS {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert_eq!(hull[0], Point::new(0.0, 0.0));
+        for p in &pts {
+            assert!(hull_contains(&hull, p));
+        }
+        assert!(!hull_contains(&hull, &Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn collinear_points_collapse_to_endpoints() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 2);
+        assert!(hull_contains(&hull, &Point::new(1.5, 1.5)));
+        assert!(!hull_contains(&hull, &Point::new(1.5, 1.6)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 1.0)]);
+        assert_eq!(single.len(), 1);
+        assert!(hull_contains(&single, &Point::new(1.0, 1.0)));
+        let dup = convex_hull(&[Point::new(1.0, 1.0); 5]);
+        assert_eq!(dup.len(), 1);
+    }
+
+    #[test]
+    fn hull_is_ccw() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(4.0, 4.0),
+            Point::new(1.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        let n = hull.len();
+        let mut area2 = 0.0;
+        for i in 0..n {
+            let p = &hull[i];
+            let q = &hull[(i + 1) % n];
+            area2 += p.x * q.y - q.x * p.y;
+        }
+        assert!(area2 > 0.0);
+    }
+}

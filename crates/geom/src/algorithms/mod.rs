@@ -1,0 +1,16 @@
+//! Single-machine computational-geometry algorithms.
+//!
+//! These are the "traditional algorithm" building blocks that both the
+//! single-machine baselines and the local-processing steps of the
+//! distributed operations share. Each submodule also carries a naive
+//! (brute-force) reference implementation used in tests and property
+//! tests.
+
+pub mod closest_pair;
+pub mod convex_hull;
+pub mod delaunay;
+pub mod farthest_pair;
+pub mod plane_sweep;
+pub mod skyline;
+pub mod union;
+pub mod voronoi;

@@ -1,0 +1,127 @@
+//! Disjoint-set (union–find) with path compression and union by rank.
+//!
+//! Used by the polygon-union operation to group transitively-overlapping
+//! polygons so each group's union can be computed independently (and in
+//! parallel across map tasks).
+
+/// Disjoint-set forest over the integers `0..n`.
+#[derive(Clone, Debug)]
+pub struct DisjointSet {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    groups: usize,
+}
+
+impl DisjointSet {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        DisjointSet {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            groups: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when constructed over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of distinct sets remaining.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Representative of the set containing `x` (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` when they
+    /// were previously distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.groups -= 1;
+        true
+    }
+
+    /// Groups all elements by representative, in deterministic order of
+    /// first appearance.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut order: Vec<Option<usize>> = vec![None; n];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for i in 0..n {
+            let r = self.find(i);
+            match order[r] {
+                Some(g) => out[g].push(i),
+                None => {
+                    order[r] = Some(out.len());
+                    out.push(vec![i]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_then_unions() {
+        let mut d = DisjointSet::new(5);
+        assert_eq!(d.group_count(), 5);
+        assert!(d.union(0, 1));
+        assert!(d.union(3, 4));
+        assert!(!d.union(1, 0));
+        assert_eq!(d.group_count(), 3);
+        assert_eq!(d.find(0), d.find(1));
+        assert_ne!(d.find(0), d.find(3));
+    }
+
+    #[test]
+    fn transitive_grouping() {
+        let mut d = DisjointSet::new(6);
+        d.union(0, 1);
+        d.union(1, 2);
+        d.union(4, 5);
+        let groups = d.groups();
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let mut d = DisjointSet::new(0);
+        assert!(d.is_empty());
+        assert!(d.groups().is_empty());
+    }
+}

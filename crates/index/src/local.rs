@@ -1,0 +1,321 @@
+//! Local index: an STR bulk-loaded R-tree over the records of one
+//! partition.
+//!
+//! The `SpatialRecordReader` in `sh-core` builds one of these per
+//! partition and hands it to the map function, so local processing can
+//! search a partition (range query, kNN) without scanning every record —
+//! the second level of SpatialHadoop's two-level index.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sh_geom::{Point, Rect};
+
+/// Maximum entries per node.
+const NODE_CAPACITY: usize = 32;
+
+#[derive(Clone, Debug)]
+struct Node {
+    mbr: Rect,
+    /// Children node indices for internal nodes; record indices for
+    /// leaves.
+    entries: Vec<usize>,
+    leaf: bool,
+}
+
+/// Immutable R-tree over `(Rect, record index)` entries, built with the
+/// Sort-Tile-Recursive algorithm.
+#[derive(Clone, Debug)]
+pub struct LocalRTree {
+    rects: Vec<Rect>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl LocalRTree {
+    /// Bulk-loads the tree; `rects[i]` is the MBR of record `i`.
+    pub fn build(rects: Vec<Rect>) -> LocalRTree {
+        let n = rects.len();
+        if n == 0 {
+            return LocalRTree {
+                rects,
+                nodes: Vec::new(),
+                root: None,
+            };
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        // Leaf level: STR packing of record indices.
+        let mut level: Vec<usize> = pack_level(
+            &mut (0..n).collect::<Vec<_>>(),
+            |i| rects[*i].center(),
+            |ids| {
+                let mut mbr = Rect::empty();
+                for &i in ids.iter() {
+                    mbr.expand(&rects[i]);
+                }
+                let node = Node {
+                    mbr,
+                    entries: ids.to_vec(),
+                    leaf: true,
+                };
+                nodes.push(node);
+                nodes.len() - 1
+            },
+        );
+        // Internal levels until a single root remains.
+        while level.len() > 1 {
+            // Snapshot the MBRs of the current level to avoid borrowing
+            // `nodes` both mutably and immutably inside pack_level.
+            let mbrs: Vec<Rect> = level.iter().map(|&id| nodes[id].mbr).collect();
+            let pairs: Vec<(usize, Rect)> = level.iter().copied().zip(mbrs).collect();
+            level = pack_level(
+                &mut pairs.clone(),
+                |(_, r)| r.center(),
+                |children| {
+                    let mut mbr = Rect::empty();
+                    for (_, r) in children.iter() {
+                        mbr.expand(r);
+                    }
+                    let node = Node {
+                        mbr,
+                        entries: children.iter().map(|(id, _)| *id).collect(),
+                        leaf: false,
+                    };
+                    nodes.push(node);
+                    nodes.len() - 1
+                },
+            );
+        }
+        let root = level.first().copied();
+        LocalRTree { rects, nodes, root }
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// True when no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// MBR of all records.
+    pub fn mbr(&self) -> Rect {
+        self.root
+            .map(|r| self.nodes[r].mbr)
+            .unwrap_or_else(Rect::empty)
+    }
+
+    /// Record indices whose MBR intersects `query`, in ascending order.
+    pub fn query(&self, query: &Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.query_node(root, query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn query_node(&self, node: usize, query: &Rect, out: &mut Vec<usize>) {
+        let n = &self.nodes[node];
+        if !n.mbr.intersects(query) {
+            return;
+        }
+        if n.leaf {
+            for &i in &n.entries {
+                if self.rects[i].intersects(query) {
+                    out.push(i);
+                }
+            }
+        } else {
+            for &c in &n.entries {
+                self.query_node(c, query, out);
+            }
+        }
+    }
+
+    /// The `k` records nearest to `p` (by MBR min-distance), best-first.
+    /// Returns `(record index, distance)` sorted by ascending distance.
+    pub fn knn(&self, p: &Point, k: usize) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = Vec::with_capacity(k);
+        let Some(root) = self.root else {
+            return out;
+        };
+        // Best-first search over a min-heap of (distance, is_record, id).
+        #[derive(PartialEq)]
+        struct Entry(f64, bool, usize);
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0
+                    .total_cmp(&other.0)
+                    .then_with(|| self.2.cmp(&other.2))
+            }
+        }
+        let mut heap: BinaryHeap<Reverse<Entry>> = BinaryHeap::new();
+        heap.push(Reverse(Entry(
+            self.nodes[root].mbr.min_distance(p),
+            false,
+            root,
+        )));
+        while let Some(Reverse(Entry(dist, is_record, id))) = heap.pop() {
+            if out.len() >= k {
+                break;
+            }
+            if is_record {
+                out.push((id, dist));
+                continue;
+            }
+            let node = &self.nodes[id];
+            if node.leaf {
+                for &i in &node.entries {
+                    heap.push(Reverse(Entry(self.rects[i].min_distance(p), true, i)));
+                }
+            } else {
+                for &c in &node.entries {
+                    heap.push(Reverse(Entry(self.nodes[c].mbr.min_distance(p), false, c)));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// STR-packs `items` into groups of [`NODE_CAPACITY`], calling `make`
+/// per group and returning the created node ids.
+fn pack_level<T: Clone, C, M>(items: &mut [T], center: C, mut make: M) -> Vec<usize>
+where
+    C: Fn(&T) -> Point,
+    M: FnMut(&[T]) -> usize,
+{
+    let n = items.len();
+    let num_nodes = n.div_ceil(NODE_CAPACITY);
+    let slices = (num_nodes as f64).sqrt().ceil() as usize;
+    items.sort_by(|a, b| center(a).x.total_cmp(&center(b).x));
+    let per_slice = n.div_ceil(slices.max(1));
+    let mut out = Vec::with_capacity(num_nodes);
+    let mut start = 0;
+    while start < n {
+        let end = (start + per_slice).min(n);
+        let slice = &mut items[start..end];
+        slice.sort_by(|a, b| center(a).y.total_cmp(&center(b).y));
+        let mut s = 0;
+        while s < slice.len() {
+            let e = (s + NODE_CAPACITY).min(slice.len());
+            out.push(make(&slice[s..e]));
+            s = e;
+        }
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..1000.0);
+                let y = rng.gen_range(0.0..1000.0);
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.gen_range(0.0..5.0),
+                    y + rng.gen_range(0.0..5.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let rects = random_rects(2000, 1);
+        let tree = LocalRTree::build(rects.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let x = rng.gen_range(0.0..900.0);
+            let y = rng.gen_range(0.0..900.0);
+            let q = Rect::new(
+                x,
+                y,
+                x + rng.gen_range(1.0..100.0),
+                y + rng.gen_range(1.0..100.0),
+            );
+            let expected: Vec<usize> = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(&q))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(tree.query(&q), expected);
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let rects = random_rects(1000, 3);
+        let tree = LocalRTree::build(rects.clone());
+        let p = Point::new(500.0, 500.0);
+        for k in [1usize, 5, 32, 100] {
+            let got = tree.knn(&p, k);
+            assert_eq!(got.len(), k);
+            let mut dists: Vec<f64> = rects.iter().map(|r| r.min_distance(&p)).collect();
+            dists.sort_by(f64::total_cmp);
+            for (i, (_, d)) in got.iter().enumerate() {
+                assert!((d - dists[i]).abs() < 1e-9, "k={k} rank {i}");
+            }
+            // Ascending order.
+            for w in got.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty = LocalRTree::build(Vec::new());
+        assert!(empty.is_empty());
+        assert!(empty.query(&Rect::new(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(empty.knn(&Point::new(0.0, 0.0), 3).is_empty());
+
+        let one = LocalRTree::build(vec![Rect::new(1.0, 1.0, 2.0, 2.0)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.query(&Rect::new(0.0, 0.0, 3.0, 3.0)), vec![0]);
+        assert_eq!(one.knn(&Point::new(0.0, 0.0), 5).len(), 1);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_n() {
+        let rects = random_rects(10, 4);
+        let tree = LocalRTree::build(rects);
+        assert_eq!(tree.knn(&Point::new(0.0, 0.0), 100).len(), 10);
+    }
+
+    #[test]
+    fn tree_mbr_covers_everything() {
+        let rects = random_rects(500, 5);
+        let tree = LocalRTree::build(rects.clone());
+        let mbr = tree.mbr();
+        for r in &rects {
+            assert!(mbr.contains_rect(r));
+        }
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let tree = LocalRTree::build(random_rects(100, 6));
+        assert!(tree
+            .query(&Rect::new(5000.0, 5000.0, 6000.0, 6000.0))
+            .is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Partitioning quality metrics (the Q1–Q5 measures of the SpatialHadoop
+//! partitioning study, experiment E2).
+
+use sh_geom::Rect;
+
+/// Quality metrics of one built index over one dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityReport {
+    /// Q1: total area of partition MBRs (normalized by universe area).
+    /// Smaller is better — large/overlapping partitions force queries to
+    /// open more of them.
+    pub total_area: f64,
+    /// Q2: total pairwise overlap area between partition MBRs
+    /// (normalized). Zero for disjoint techniques.
+    pub total_overlap: f64,
+    /// Q3: total margin (half-perimeter) of partition MBRs, normalized by
+    /// universe margin. Square-ish partitions score lower.
+    pub total_margin: f64,
+    /// Q4: load balance — coefficient of variation of partition record
+    /// counts (stddev / mean). Zero is perfectly balanced.
+    pub load_cv: f64,
+    /// Q5: replication overhead — stored records / input records. 1.0
+    /// when nothing is replicated.
+    pub replication: f64,
+    /// Number of partitions measured.
+    pub partitions: usize,
+}
+
+/// Computes the report from partition data MBRs, per-partition record
+/// counts, and the number of distinct input records.
+pub fn measure(
+    mbrs: &[Rect],
+    counts: &[u64],
+    input_records: u64,
+    universe: &Rect,
+) -> QualityReport {
+    assert_eq!(mbrs.len(), counts.len(), "one count per partition");
+    let uni_area = universe.area().max(1e-12);
+    let uni_margin = universe.margin().max(1e-12);
+    let total_area: f64 = mbrs.iter().map(Rect::area).sum::<f64>() / uni_area;
+    let mut total_overlap = 0.0;
+    for i in 0..mbrs.len() {
+        for j in (i + 1)..mbrs.len() {
+            if let Some(x) = mbrs[i].intersection(&mbrs[j]) {
+                total_overlap += x.area();
+            }
+        }
+    }
+    let total_overlap = total_overlap / uni_area;
+    let total_margin: f64 = mbrs.iter().map(Rect::margin).sum::<f64>() / uni_margin;
+    let stored: u64 = counts.iter().sum();
+    let n = counts.len().max(1) as f64;
+    let mean = stored as f64 / n;
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let load_cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    let replication = if input_records > 0 {
+        stored as f64 / input_records as f64
+    } else {
+        1.0
+    };
+    QualityReport {
+        total_area,
+        total_overlap,
+        total_margin,
+        load_cv,
+        replication,
+        partitions: mbrs.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_tiling_scores_one_area_zero_overlap() {
+        let uni = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let mbrs = vec![Rect::new(0.0, 0.0, 1.0, 2.0), Rect::new(1.0, 0.0, 2.0, 2.0)];
+        let r = measure(&mbrs, &[10, 10], 20, &uni);
+        assert!((r.total_area - 1.0).abs() < 1e-12);
+        assert_eq!(r.total_overlap, 0.0);
+        assert_eq!(r.load_cv, 0.0);
+        assert_eq!(r.replication, 1.0);
+        assert_eq!(r.partitions, 2);
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let uni = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let mbrs = vec![Rect::new(0.0, 0.0, 1.5, 2.0), Rect::new(0.5, 0.0, 2.0, 2.0)];
+        let r = measure(&mbrs, &[10, 10], 20, &uni);
+        assert!(r.total_overlap > 0.4 && r.total_overlap < 0.6);
+    }
+
+    #[test]
+    fn imbalance_raises_cv_and_replication_counts() {
+        let uni = Rect::new(0.0, 0.0, 1.0, 1.0);
+        let mbrs = vec![uni, uni];
+        let balanced = measure(&mbrs, &[50, 50], 100, &uni);
+        let skewed = measure(&mbrs, &[95, 5], 100, &uni);
+        assert!(skewed.load_cv > balanced.load_cv);
+        let replicated = measure(&mbrs, &[80, 40], 100, &uni);
+        assert!((replicated.replication - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one count per partition")]
+    fn mismatched_lengths_panic() {
+        let uni = Rect::new(0.0, 0.0, 1.0, 1.0);
+        measure(&[uni], &[1, 2], 3, &uni);
+    }
+}

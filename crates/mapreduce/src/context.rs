@@ -1,0 +1,116 @@
+//! Task-side contexts handed to map and reduce functions.
+
+use std::collections::BTreeMap;
+
+/// Context given to a map function for one split.
+///
+/// A mapper can do two things with its results:
+///
+/// * [`MapContext::emit`] — send an intermediate `(key, value)` pair into
+///   the shuffle toward the reducers, or
+/// * [`MapContext::output`] — write a line of *final* output directly
+///   (map-only jobs and the early-flush "pruning" steps of the enhanced
+///   operations use this; in Hadoop terms, writing from the mapper to a
+///   task-side output file committed with the job).
+pub struct MapContext<K, V> {
+    pub(crate) emitted: Vec<(K, V)>,
+    pub(crate) output: Vec<String>,
+    pub(crate) side: BTreeMap<String, Vec<String>>,
+    pub(crate) counters: BTreeMap<String, u64>,
+}
+
+impl<K, V> MapContext<K, V> {
+    pub(crate) fn new() -> Self {
+        MapContext {
+            emitted: Vec::new(),
+            output: Vec::new(),
+            side: BTreeMap::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Emits an intermediate pair into the shuffle.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.emitted.push((key, value));
+    }
+
+    /// Writes one line of final output from the map side.
+    #[inline]
+    pub fn output(&mut self, line: String) {
+        self.output.push(line);
+    }
+
+    /// Writes one line into a *named side file* (`{output}/{name}`).
+    /// Lines from all tasks writing the same name are concatenated in
+    /// task order — the mechanism the index builder uses to write one
+    /// file per spatial partition.
+    pub fn side_output(&mut self, name: &str, line: String) {
+        self.side.entry(name.to_string()).or_default().push(line);
+    }
+
+    /// Adds to a named job counter.
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+}
+
+/// Context given to a reduce function for one key group.
+pub struct ReduceContext {
+    pub(crate) output: Vec<String>,
+    pub(crate) side: BTreeMap<String, Vec<String>>,
+    pub(crate) counters: BTreeMap<String, u64>,
+}
+
+impl ReduceContext {
+    pub(crate) fn new() -> Self {
+        ReduceContext {
+            output: Vec::new(),
+            side: BTreeMap::new(),
+            counters: BTreeMap::new(),
+        }
+    }
+
+    /// Writes one line of final output.
+    #[inline]
+    pub fn output(&mut self, line: String) {
+        self.output.push(line);
+    }
+
+    /// Writes one line into a *named side file* (see
+    /// [`MapContext::side_output`]).
+    pub fn side_output(&mut self, name: &str, line: String) {
+        self.side.entry(name.to_string()).or_default().push(line);
+    }
+
+    /// Adds to a named job counter.
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_context_collects() {
+        let mut ctx: MapContext<u32, String> = MapContext::new();
+        ctx.emit(1, "a".into());
+        ctx.output("final".into());
+        ctx.counter("c", 2);
+        ctx.counter("c", 1);
+        assert_eq!(ctx.emitted.len(), 1);
+        assert_eq!(ctx.output, vec!["final"]);
+        assert_eq!(ctx.counters["c"], 3);
+    }
+
+    #[test]
+    fn reduce_context_collects() {
+        let mut ctx = ReduceContext::new();
+        ctx.output("x".into());
+        ctx.counter("k", 1);
+        assert_eq!(ctx.output, vec!["x"]);
+        assert_eq!(ctx.counters["k"], 1);
+    }
+}

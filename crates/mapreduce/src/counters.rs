@@ -1,0 +1,78 @@
+//! Job counters (Hadoop-style named accumulators).
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// Thread-safe named counters.
+///
+/// The engine maintains its own bookkeeping counters (`map.*`,
+/// `shuffle.*`, `reduce.*`, `output.*`) and user code adds domain counters
+/// through the task contexts (e.g. the operations layer counts pruned
+/// partitions and early-flushed results — the quantities several of the
+/// paper's figures plot).
+#[derive(Debug, Default)]
+pub struct Counters {
+    inner: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn inc(&self, name: &str, delta: u64) {
+        let mut map = self.inner.lock();
+        *map.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Current value (0 when never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another snapshot into this set.
+    pub fn merge(&self, other: &BTreeMap<String, u64>) {
+        let mut map = self.inner.lock();
+        for (k, v) in other {
+            *map.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Copies all counters.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.inner.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_get_snapshot() {
+        let c = Counters::new();
+        c.inc("a", 2);
+        c.inc("a", 3);
+        c.inc("b", 1);
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("missing"), 0);
+        let snap = c.snapshot();
+        assert_eq!(snap["a"], 5);
+        assert_eq!(snap["b"], 1);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let c = Counters::new();
+        c.inc("a", 1);
+        let mut other = BTreeMap::new();
+        other.insert("a".to_string(), 4);
+        other.insert("c".to_string(), 2);
+        c.merge(&other);
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("c"), 2);
+    }
+}

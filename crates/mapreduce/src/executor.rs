@@ -1,0 +1,918 @@
+//! Job execution: locality scheduling, threaded task waves, shuffle,
+//! and cost aggregation.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use sh_dfs::{Dfs, DfsError};
+
+use crate::context::{MapContext, ReduceContext};
+use crate::cost::{makespan, shuffle_time, SimBreakdown, TaskCost};
+use crate::counters::Counters;
+use crate::job::{Job, JobError, Mapper, Reducer};
+
+/// Result of a completed job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Job name (diagnostics).
+    pub name: String,
+    /// Output directory holding `part-*` files.
+    pub output: String,
+    /// Final counters (engine + user).
+    pub counters: BTreeMap<String, u64>,
+    /// Simulated cluster time.
+    pub sim: SimBreakdown,
+    /// Real wall-clock execution time of the in-process run.
+    pub wall: Duration,
+    /// Number of map tasks executed.
+    pub map_tasks: usize,
+    /// Number of reduce tasks executed.
+    pub reduce_tasks: usize,
+}
+
+impl JobOutcome {
+    /// Reads every line of every output part file, in part order.
+    pub fn read_output(&self, dfs: &Dfs) -> Result<Vec<String>, DfsError> {
+        read_output_dir(dfs, &self.output)
+    }
+}
+
+/// Reads all `part-*` files under an output directory.
+pub fn read_output_dir(dfs: &Dfs, dir: &str) -> Result<Vec<String>, DfsError> {
+    let mut lines = Vec::new();
+    for path in dfs.list(&format!("{dir}/part-")) {
+        let text = dfs.read_to_string(&path)?;
+        lines.extend(text.lines().map(str::to_string));
+    }
+    Ok(lines)
+}
+
+struct MapTaskResult<K, V> {
+    cost: TaskCost,
+    pairs: Vec<(K, V)>,
+    output: Vec<String>,
+    side: BTreeMap<String, Vec<String>>,
+    counters: BTreeMap<String, u64>,
+}
+
+/// Runs a configured job (called from [`Job::run`]).
+pub(crate) fn run<M, R>(job: Job<M, R>) -> Result<JobOutcome, JobError>
+where
+    M: Mapper,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    let start = Instant::now();
+    let dfs = job.dfs.clone();
+    let cfg = dfs.config().clone();
+    let counters = Counters::new();
+
+    // Hadoop semantics: refuse to run into a non-empty output directory
+    // (prevents part files from different jobs from mixing).
+    if !dfs.list(&format!("{}/part-", job.output)).is_empty() {
+        return Err(JobError::Config(format!(
+            "output directory {} already contains part files",
+            job.output
+        )));
+    }
+
+    // ---- schedule: assign each split to a node, locality first -------
+    let assignments = assign_nodes(&job, cfg.num_nodes);
+
+    // ---- map phase ----------------------------------------------------
+    let n_tasks = job.splits.len();
+    let results: Mutex<Vec<Option<MapTaskResult<M::K, M::V>>>> =
+        Mutex::new((0..n_tasks).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
+        .min(n_tasks.max(1));
+    let failure: Mutex<Option<JobError>> = Mutex::new(None);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                // Hadoop semantics: a panicking task fails the job, not
+                // the process.
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    run_map_task(&job, i, assignments[i])
+                }));
+                match attempt {
+                    Ok(Ok(res)) => {
+                        results.lock()[i] = Some(res);
+                    }
+                    Ok(Err(e)) => {
+                        *failure.lock() = Some(JobError::Dfs(e));
+                        break;
+                    }
+                    Err(panic) => {
+                        *failure.lock() =
+                            Some(JobError::TaskFailed(format!(
+                                "map task {i}: {}",
+                                panic_message(&panic)
+                            )));
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("map worker thread infrastructure failed");
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+    if results.lock().iter().any(Option::is_none) {
+        return Err(JobError::TaskFailed(
+            "a map task was abandoned after another task failed".into(),
+        ));
+    }
+    let mut map_results: Vec<MapTaskResult<M::K, M::V>> = results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all map tasks completed"))
+        .collect();
+
+    // ---- side files (named outputs shared across tasks) ---------------
+    let mut side_files: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for res in map_results.iter_mut() {
+        for (name, lines) in std::mem::take(&mut res.side) {
+            let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+            res.cost.output_bytes += bytes;
+            side_files.entry(name).or_default().extend(lines);
+        }
+    }
+
+    // ---- map-side final output (map-only jobs & early flush) ----------
+    for (i, res) in map_results.iter_mut().enumerate() {
+        if !res.output.is_empty() {
+            let path = format!("{}/part-m-{i:05}", job.output);
+            let mut w = dfs.create(&path)?;
+            for line in &res.output {
+                w.write_line(line);
+            }
+            w.close();
+            let bytes: u64 = res.output.iter().map(|l| l.len() as u64 + 1).sum();
+            res.cost.output_bytes += bytes;
+            counters.inc("output.map.bytes", bytes);
+        }
+        counters.merge(&res.counters);
+        counters.inc("map.input.bytes.local", res.cost.local_bytes);
+        counters.inc("map.input.bytes.remote", res.cost.remote_bytes);
+    }
+    counters.inc("map.tasks", n_tasks as u64);
+
+    let map_costs: Vec<TaskCost> = map_results.iter().map(|r| r.cost).collect();
+    let map_makespan = makespan(&map_costs, &cfg, cfg.map_slots_per_node);
+
+    // ---- shuffle -------------------------------------------------------
+    let mut sim = SimBreakdown {
+        startup: cfg.job_startup_overhead,
+        map: map_makespan,
+        shuffle: 0.0,
+        reduce: 0.0,
+    };
+
+    let mut reduce_tasks_run = 0usize;
+    if let Some(reducer) = &job.reducer {
+        let r = job.num_reducers;
+        let mut buckets: Vec<Vec<(M::K, M::V)>> = (0..r).map(|_| Vec::new()).collect();
+        let mut shuffle_bytes = 0u64;
+        let mut shuffle_pairs = 0u64;
+        for res in map_results.iter_mut() {
+            for (k, v) in res.pairs.drain(..) {
+                shuffle_bytes += (job.pair_size)(&k, &v) as u64;
+                shuffle_pairs += 1;
+                let b = bucket_of(&k, r);
+                buckets[b].push((k, v));
+            }
+        }
+        counters.inc("shuffle.pairs", shuffle_pairs);
+        counters.inc("shuffle.bytes", shuffle_bytes);
+        sim.shuffle = shuffle_time(shuffle_bytes, &cfg);
+
+        // ---- reduce phase ---------------------------------------------
+        let reduce_results: Mutex<Vec<Option<ReduceTaskResult>>> =
+            Mutex::new((0..r).map(|_| None).collect());
+        let next_r = AtomicUsize::new(0);
+        let buckets_ref = &buckets;
+        let reduce_failure: Mutex<Option<JobError>> = Mutex::new(None);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(r.max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next_r.fetch_add(1, Ordering::Relaxed);
+                    if i >= r {
+                        break;
+                    }
+                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_reduce_task::<M, R>(reducer, &buckets_ref[i], i, &cfg)
+                    }));
+                    match attempt {
+                        Ok(res) => {
+                            reduce_results.lock()[i] = Some(res);
+                        }
+                        Err(panic) => {
+                            *reduce_failure.lock() = Some(JobError::TaskFailed(format!(
+                                "reduce task {i}: {}",
+                                panic_message(&panic)
+                            )));
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("reduce worker thread infrastructure failed");
+        if let Some(e) = reduce_failure.into_inner() {
+            return Err(e);
+        }
+
+        let mut reduce_costs: Vec<TaskCost> = Vec::with_capacity(r);
+        for (i, res) in reduce_results.into_inner().into_iter().enumerate() {
+            let (mut cost, output, side, task_counters) = res.expect("reduce task completed");
+            for (name, lines) in side {
+                let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+                cost.output_bytes += bytes;
+                side_files.entry(name).or_default().extend(lines);
+            }
+            if !output.is_empty() {
+                let path = format!("{}/part-r-{i:05}", job.output);
+                let mut w = dfs.create(&path)?;
+                for line in &output {
+                    w.write_line(line);
+                }
+                w.close();
+                let bytes: u64 = output.iter().map(|l| l.len() as u64 + 1).sum();
+                cost.output_bytes += bytes;
+                counters.inc("output.reduce.bytes", bytes);
+            }
+            counters.merge(&task_counters);
+            reduce_costs.push(cost);
+            reduce_tasks_run += 1;
+        }
+        sim.reduce = makespan(&reduce_costs, &cfg, cfg.reduce_slots_per_node);
+        counters.inc("reduce.tasks", reduce_tasks_run as u64);
+    }
+
+    // Side files are written last so reduce-side side outputs are merged
+    // in too.
+    for (name, lines) in side_files {
+        let path = format!("{}/{name}", job.output);
+        let mut w = dfs.create(&path)?;
+        for line in &lines {
+            w.write_line(line);
+        }
+        w.close();
+        counters.inc(
+            "output.side.bytes",
+            lines.iter().map(|l| l.len() as u64 + 1).sum(),
+        );
+    }
+
+    Ok(JobOutcome {
+        name: job.name,
+        output: job.output,
+        counters: counters.snapshot(),
+        sim,
+        wall: start.elapsed(),
+        map_tasks: n_tasks,
+        reduce_tasks: reduce_tasks_run,
+    })
+}
+
+/// Locality-aware greedy assignment of splits to nodes: each split goes
+/// to its least-loaded replica holder; load is balanced in bytes.
+fn assign_nodes<M: Mapper, R: Reducer<K = M::K, V = M::V>>(
+    job: &Job<M, R>,
+    num_nodes: usize,
+) -> Vec<usize> {
+    let mut load = vec![0u64; num_nodes.max(1)];
+    let mut order: Vec<usize> = (0..job.splits.len()).collect();
+    // Place big splits first (LPT-style) for better balance.
+    order.sort_by_key(|&i| std::cmp::Reverse(job.splits[i].len()));
+    let locality = job.dfs.config().locality_scheduling;
+    let mut assignment = vec![0usize; job.splits.len()];
+    for i in order {
+        let split = &job.splits[i];
+        let preferred = split.preferred_nodes();
+        let node = if locality {
+            preferred
+                .iter()
+                .copied()
+                .min_by_key(|&n| load[n % load.len()])
+                .unwrap_or_else(|| {
+                    (0..load.len())
+                        .min_by_key(|&n| load[n])
+                        .expect("at least one node")
+                })
+        } else {
+            // Locality-blind: pure load balancing, ignoring replicas.
+            (0..load.len())
+                .min_by_key(|&n| load[n])
+                .expect("at least one node")
+        };
+        let node = node % load.len();
+        load[node] += split.len().max(1);
+        assignment[i] = node;
+    }
+    assignment
+}
+
+fn run_map_task<M, R>(
+    job: &Job<M, R>,
+    task: usize,
+    node: usize,
+) -> Result<MapTaskResult<M::K, M::V>, DfsError>
+where
+    M: Mapper,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    let split = &job.splits[task];
+    let mut local = 0u64;
+    let mut remote = 0u64;
+    let mut data = String::with_capacity(split.len() as usize);
+    for b in &split.blocks {
+        let (bytes, was_local) = job.dfs.read_block(b.id, node)?;
+        if was_local {
+            local += bytes.len() as u64;
+        } else {
+            remote += bytes.len() as u64;
+        }
+        data.push_str(std::str::from_utf8(&bytes).expect("DFS stores UTF-8 text"));
+    }
+    let mut ctx = MapContext::new();
+    let t0 = Instant::now();
+    job.mapper.map(split, &data, &mut ctx);
+    let mut pairs = ctx.emitted;
+    if let Some(combiner) = &job.combiner {
+        pairs = apply_combiner(pairs, combiner);
+    }
+    let compute = t0.elapsed().as_secs_f64();
+    Ok(MapTaskResult {
+        cost: TaskCost {
+            node,
+            local_bytes: local,
+            remote_bytes: remote,
+            output_bytes: 0,
+            compute_seconds: compute,
+        },
+        pairs,
+        output: ctx.output,
+        side: ctx.side,
+        counters: ctx.counters,
+    })
+}
+
+fn apply_combiner<K: Clone + Ord + Hash + Send, V: Clone + Send>(
+    mut pairs: Vec<(K, V)>,
+    combiner: &crate::job::CombinerFn<K, V>,
+) -> Vec<(K, V)> {
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out: Vec<(K, V)> = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let key = pairs[i].0.clone();
+        let values: Vec<V> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+        for v in combiner(&key, values) {
+            out.push((key.clone(), v));
+        }
+        i = j;
+    }
+    out
+}
+
+type ReduceTaskResult = (
+    TaskCost,
+    Vec<String>,
+    BTreeMap<String, Vec<String>>,
+    BTreeMap<String, u64>,
+);
+
+fn run_reduce_task<M, R>(
+    reducer: &R,
+    bucket: &[(M::K, M::V)],
+    task: usize,
+    cfg: &sh_dfs::ClusterConfig,
+) -> ReduceTaskResult
+where
+    M: Mapper,
+    R: Reducer<K = M::K, V = M::V>,
+{
+    let node = task % cfg.num_nodes.max(1);
+    // Sort/group phase: stable sort keeps map-task emission order within
+    // a key, so results are deterministic.
+    let mut pairs: Vec<(M::K, M::V)> = bucket.to_vec();
+    let t0 = Instant::now();
+    pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut ctx = ReduceContext::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let mut j = i + 1;
+        while j < pairs.len() && pairs[j].0 == pairs[i].0 {
+            j += 1;
+        }
+        let key = pairs[i].0.clone();
+        let values: Vec<M::V> = pairs[i..j].iter().map(|(_, v)| v.clone()).collect();
+        reducer.reduce(&key, values, &mut ctx);
+        i = j;
+    }
+    let compute = t0.elapsed().as_secs_f64();
+    (
+        TaskCost {
+            node,
+            local_bytes: 0,
+            remote_bytes: 0,
+            output_bytes: 0,
+            compute_seconds: compute,
+        },
+        ctx.output,
+        ctx.side,
+        ctx.counters,
+    )
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Deterministic key → reducer bucket (fixed-seed hasher, stable across
+/// processes and runs).
+fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % buckets as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobBuilder;
+    use crate::split::InputSplit;
+    use sh_dfs::ClusterConfig;
+
+    struct CountMapper;
+    impl Mapper for CountMapper {
+        type K = String;
+        type V = u64;
+        fn map(&self, _s: &InputSplit, data: &str, ctx: &mut MapContext<String, u64>) {
+            for token in data.split_whitespace() {
+                ctx.emit(token.to_string(), 1);
+            }
+            ctx.counter("user.records", data.lines().count() as u64);
+        }
+    }
+
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        type K = String;
+        type V = u64;
+        fn reduce(&self, k: &String, vs: Vec<u64>, ctx: &mut ReduceContext) {
+            ctx.output(format!("{k} {}", vs.iter().sum::<u64>()));
+        }
+    }
+
+    fn dfs() -> Dfs {
+        Dfs::new(ClusterConfig::small_for_tests())
+    }
+
+    fn wordcount_input(fs: &Dfs, lines: usize) {
+        let mut w = fs.create("/in").unwrap();
+        for i in 0..lines {
+            w.write_line(&format!("w{} common", i % 10));
+        }
+        w.close();
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let fs = dfs();
+        wordcount_input(&fs, 5000); // multiple blocks
+        let outcome = JobBuilder::new(&fs, "wc")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 3)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(outcome.map_tasks > 1, "expected multiple splits");
+        assert_eq!(outcome.reduce_tasks, 3);
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert_eq!(lines.len(), 11); // w0..w9 + common
+        assert!(lines.contains(&"common 5000".to_string()));
+        assert!(lines.contains(&"w0 500".to_string()));
+        assert_eq!(outcome.counters["user.records"], 5000);
+        assert_eq!(outcome.counters["shuffle.pairs"], 10_000);
+        assert!(outcome.sim.total() > 0.0);
+    }
+
+    #[test]
+    fn combiner_reduces_shuffle_volume() {
+        let fs = dfs();
+        wordcount_input(&fs, 5000);
+        let without = JobBuilder::new(&fs, "wc")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/out1")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let with = JobBuilder::new(&fs, "wc-comb")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .combiner(|_k, vs: Vec<u64>| vec![vs.iter().sum()])
+            .reducer(SumReducer, 2)
+            .output("/out2")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(with.counters["shuffle.pairs"] < without.counters["shuffle.pairs"]);
+        let mut a = without.read_output(&fs).unwrap();
+        let mut b = with.read_output(&fs).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "combiner must not change results");
+    }
+
+    struct PassthroughMapper;
+    impl Mapper for PassthroughMapper {
+        type K = u32;
+        type V = u32;
+        fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u32, u32>) {
+            for line in data.lines() {
+                ctx.output(format!("{}:{}", split.tag, line));
+            }
+        }
+    }
+
+    #[test]
+    fn map_only_job_writes_map_output() {
+        let fs = dfs();
+        fs.write_string("/in", "a\nb\n").unwrap();
+        let outcome = JobBuilder::new(&fs, "identity")
+            .input_file("/in")
+            .unwrap()
+            .mapper(PassthroughMapper)
+            .output("/out")
+            .map_only()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.reduce_tasks, 0);
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert_eq!(lines, vec!["0:a", "0:b"]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let fs = dfs();
+            wordcount_input(&fs, 3000);
+            let outcome = JobBuilder::new(&fs, "wc")
+                .input_file("/in")
+                .unwrap()
+                .mapper(CountMapper)
+                .reducer(SumReducer, 4)
+                .output("/out")
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            outcome.read_output(&fs).unwrap()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn input_byte_accounting_balances() {
+        let fs = dfs();
+        wordcount_input(&fs, 4000);
+        let file_len = fs.stat("/in").unwrap().len;
+        let outcome = JobBuilder::new(&fs, "account")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // A full scan reads every input byte exactly once (local +
+        // remote partition of the same total).
+        assert_eq!(
+            outcome.counters["map.input.bytes.local"]
+                + outcome.counters["map.input.bytes.remote"],
+            file_len
+        );
+        // Shuffle pairs equal total tokens (2 per line).
+        assert_eq!(outcome.counters["shuffle.pairs"], 8000);
+    }
+
+    #[test]
+    fn concurrent_jobs_on_one_dfs_are_safe() {
+        let fs = dfs();
+        wordcount_input(&fs, 2000);
+        let run = |out: &str| {
+            JobBuilder::new(&fs, "concurrent")
+                .input_file("/in")
+                .unwrap()
+                .mapper(CountMapper)
+                .reducer(SumReducer, 2)
+                .output(out)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let (a, b) = std::thread::scope(|scope| {
+            let ha = scope.spawn(|| run("/out-a"));
+            let hb = scope.spawn(|| run("/out-b"));
+            (ha.join().unwrap(), hb.join().unwrap())
+        });
+        let mut la = a.read_output(&fs).unwrap();
+        let mut lb = b.read_output(&fs).unwrap();
+        la.sort();
+        lb.sort();
+        assert_eq!(la, lb);
+        assert!(la.contains(&"common 2000".to_string()));
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let fs = dfs();
+        assert!(matches!(
+            JobBuilder::<CountMapper>::new(&fs, "x").input_file("/nope"),
+            Err(JobError::Config(_)) | Err(JobError::Dfs(_))
+        ));
+    }
+
+    #[test]
+    fn zero_reducers_rejected() {
+        let fs = dfs();
+        fs.write_string("/in", "a\n").unwrap();
+        let err = JobBuilder::new(&fs, "x")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 0)
+            .output("/o")
+            .build();
+        assert!(matches!(err, Err(JobError::Config(_))));
+    }
+
+    #[test]
+    fn sim_time_includes_startup_and_scales_with_input() {
+        let fs = dfs();
+        wordcount_input(&fs, 500);
+        let small = JobBuilder::new(&fs, "s")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 1)
+            .output("/o1")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let fs2 = dfs();
+        wordcount_input(&fs2, 50_000);
+        let big = JobBuilder::new(&fs2, "b")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 1)
+            .output("/o2")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let cfg = ClusterConfig::small_for_tests();
+        assert!(small.sim.startup == cfg.job_startup_overhead);
+        assert!(big.sim.total() > small.sim.total());
+    }
+
+    struct PanickingMapper;
+    impl Mapper for PanickingMapper {
+        type K = u8;
+        type V = u8;
+        fn map(&self, _s: &InputSplit, data: &str, _ctx: &mut MapContext<u8, u8>) {
+            if data.contains("poison") {
+                panic!("corrupt record encountered");
+            }
+        }
+    }
+
+    #[test]
+    fn map_task_panic_fails_the_job_not_the_process() {
+        let fs = dfs();
+        fs.write_string("/in", "fine\npoison\n").unwrap();
+        let err = JobBuilder::new(&fs, "poisoned")
+            .input_file("/in")
+            .unwrap()
+            .mapper(PanickingMapper)
+            .output("/o")
+            .map_only()
+            .unwrap()
+            .run();
+        match err {
+            Err(JobError::TaskFailed(msg)) => {
+                assert!(msg.contains("corrupt record"), "{msg}")
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    struct PanickingReducer;
+    impl Reducer for PanickingReducer {
+        type K = u8;
+        type V = u8;
+        fn reduce(&self, _k: &u8, _vs: Vec<u8>, _ctx: &mut ReduceContext) {
+            panic!("reducer exploded");
+        }
+    }
+
+    struct EmitOneMapper;
+    impl Mapper for EmitOneMapper {
+        type K = u8;
+        type V = u8;
+        fn map(&self, _s: &InputSplit, _d: &str, ctx: &mut MapContext<u8, u8>) {
+            ctx.emit(1, 1);
+        }
+    }
+
+    #[test]
+    fn reduce_task_panic_fails_the_job_not_the_process() {
+        let fs = dfs();
+        fs.write_string("/in", "x\n").unwrap();
+        let err = JobBuilder::new(&fs, "boom")
+            .input_file("/in")
+            .unwrap()
+            .mapper(EmitOneMapper)
+            .reducer(PanickingReducer, 1)
+            .output("/o")
+            .build()
+            .unwrap()
+            .run();
+        assert!(matches!(err, Err(JobError::TaskFailed(_))), "{err:?}");
+    }
+
+    #[test]
+    fn node_failure_fails_job_cleanly() {
+        let fs = dfs();
+        wordcount_input(&fs, 100);
+        // Kill every node: reads must fail, job returns Dfs error.
+        for n in 0..fs.config().num_nodes {
+            fs.kill_node(n);
+        }
+        let err = JobBuilder::new(&fs, "dead")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 1)
+            .output("/o")
+            .build()
+            .unwrap()
+            .run();
+        assert!(matches!(err, Err(JobError::Dfs(_))));
+    }
+
+    struct AuxEchoMapper;
+    impl Mapper for AuxEchoMapper {
+        type K = u8;
+        type V = u8;
+        fn map(&self, split: &InputSplit, _data: &str, ctx: &mut MapContext<u8, u8>) {
+            ctx.output(format!(
+                "{}:{}",
+                split.partition_id.unwrap_or(999),
+                split.aux.as_deref().unwrap_or("-")
+            ));
+        }
+    }
+
+    #[test]
+    fn splits_carry_partition_metadata_and_aux_to_mappers() {
+        let fs = dfs();
+        fs.write_string("/in", "x\n").unwrap();
+        let split = crate::split::InputSplit::whole_file(&fs, "/in")
+            .unwrap()
+            .with_partition(7, [0.0, 0.0, 1.0, 1.0])
+            .with_aux("payload 42".into());
+        let outcome = JobBuilder::new(&fs, "aux")
+            .input_splits(vec![split])
+            .mapper(AuxEchoMapper)
+            .output("/out")
+            .map_only()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.read_output(&fs).unwrap(), vec!["7:payload 42"]);
+    }
+
+    struct SideMapper;
+    impl Mapper for SideMapper {
+        type K = u8;
+        type V = u64;
+        fn map(&self, _s: &InputSplit, data: &str, ctx: &mut MapContext<u8, u64>) {
+            for line in data.lines() {
+                ctx.side_output("spill", format!("m:{line}"));
+                ctx.emit(1, line.len() as u64);
+            }
+        }
+    }
+
+    struct SideReducer;
+    impl Reducer for SideReducer {
+        type K = u8;
+        type V = u64;
+        fn reduce(&self, _k: &u8, vs: Vec<u64>, ctx: &mut ReduceContext) {
+            ctx.side_output("spill", format!("r:{}", vs.len()));
+            ctx.output(format!("{}", vs.iter().sum::<u64>()));
+        }
+    }
+
+    #[test]
+    fn side_files_merge_map_and_reduce_contributions() {
+        let fs = dfs();
+        fs.write_string("/in", "aa\nbbb\n").unwrap();
+        let outcome = JobBuilder::new(&fs, "side")
+            .input_file("/in")
+            .unwrap()
+            .mapper(SideMapper)
+            .reducer(SideReducer, 1)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.read_output(&fs).unwrap(), vec!["5"]);
+        let spill = fs.read_to_string("/out/spill").unwrap();
+        let mut lines: Vec<&str> = spill.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["m:aa", "m:bbb", "r:2"]);
+    }
+
+    #[test]
+    fn output_collision_is_rejected() {
+        let fs = dfs();
+        fs.write_string("/in", "a\n").unwrap();
+        let run = |out: &str| {
+            JobBuilder::new(&fs, "c")
+                .input_file("/in")
+                .unwrap()
+                .mapper(PassthroughMapper)
+                .output(out)
+                .map_only()
+                .unwrap()
+                .run()
+        };
+        run("/dup").unwrap();
+        assert!(matches!(run("/dup"), Err(JobError::Config(_))));
+    }
+
+    #[test]
+    fn job_survives_single_node_failure() {
+        let fs = dfs();
+        wordcount_input(&fs, 2000);
+        fs.kill_node(0);
+        let outcome = JobBuilder::new(&fs, "one-dead")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/o")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert!(lines.contains(&"common 2000".to_string()));
+    }
+}

@@ -1,0 +1,297 @@
+//! Job definition: the mapper/reducer traits and the job builder.
+
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use sh_dfs::{Dfs, DfsError};
+
+use crate::context::{MapContext, ReduceContext};
+use crate::executor::{self, JobOutcome};
+use crate::split::InputSplit;
+
+/// A map function over one input split.
+///
+/// The engine hands the mapper the *raw text* of its split plus the split
+/// metadata; parsing is the mapper's job (SpatialHadoop's record readers
+/// live in `sh-core` and are invoked from mapper implementations). This
+/// mirrors Hadoop, where the `RecordReader` runs inside the map task, and
+/// keeps the measured compute cost honest.
+pub trait Mapper: Send + Sync {
+    /// Intermediate key type.
+    type K: Clone + Ord + Hash + Send + Sync + 'static;
+    /// Intermediate value type.
+    type V: Clone + Send + Sync + 'static;
+
+    /// Processes one split.
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<Self::K, Self::V>);
+}
+
+/// A reduce function over one key group.
+pub trait Reducer: Send + Sync {
+    /// Intermediate key type (matches the mapper's).
+    type K: Clone + Ord + Hash + Send + Sync + 'static;
+    /// Intermediate value type (matches the mapper's).
+    type V: Clone + Send + Sync + 'static;
+
+    /// Processes all values of one key.
+    fn reduce(&self, key: &Self::K, values: Vec<Self::V>, ctx: &mut ReduceContext);
+}
+
+/// Placeholder reducer for map-only jobs; never invoked.
+pub struct NoReducer<K, V>(std::marker::PhantomData<fn() -> (K, V)>);
+
+impl<K, V> Default for NoReducer<K, V> {
+    fn default() -> Self {
+        NoReducer(std::marker::PhantomData)
+    }
+}
+
+impl<K, V> Reducer for NoReducer<K, V>
+where
+    K: Clone + Ord + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    type K = K;
+    type V = V;
+
+    fn reduce(&self, _key: &K, _values: Vec<V>, _ctx: &mut ReduceContext) {
+        unreachable!("NoReducer is only valid for map-only jobs")
+    }
+}
+
+/// Combiner: runs on the map side per key before the shuffle.
+pub type CombinerFn<K, V> = Arc<dyn Fn(&K, Vec<V>) -> Vec<V> + Send + Sync>;
+
+/// Estimates the wire size of an intermediate pair for shuffle-byte
+/// accounting.
+pub type PairSizeFn<K, V> = Arc<dyn Fn(&K, &V) -> usize + Send + Sync>;
+
+/// Errors from job configuration or execution.
+#[derive(Debug)]
+pub enum JobError {
+    /// Underlying DFS failure (missing input, lost block, ...).
+    Dfs(DfsError),
+    /// A reducer was configured with zero reduce tasks, or vice versa.
+    Config(String),
+    /// A map or reduce task panicked (e.g. on corrupt records). The
+    /// job fails cleanly instead of aborting the process — Hadoop's
+    /// failed-task semantics.
+    TaskFailed(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Dfs(e) => write!(f, "dfs error: {e}"),
+            JobError::Config(m) => write!(f, "job configuration error: {m}"),
+            JobError::TaskFailed(m) => write!(f, "task failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<DfsError> for JobError {
+    fn from(e: DfsError) -> Self {
+        JobError::Dfs(e)
+    }
+}
+
+/// A fully-configured MapReduce job, ready to run.
+pub struct Job<M: Mapper, R: Reducer<K = M::K, V = M::V>> {
+    pub(crate) dfs: Dfs,
+    pub(crate) name: String,
+    pub(crate) splits: Vec<InputSplit>,
+    pub(crate) mapper: M,
+    pub(crate) reducer: Option<R>,
+    pub(crate) combiner: Option<CombinerFn<M::K, M::V>>,
+    pub(crate) num_reducers: usize,
+    pub(crate) output: String,
+    pub(crate) pair_size: PairSizeFn<M::K, M::V>,
+}
+
+impl<M: Mapper, R: Reducer<K = M::K, V = M::V>> Job<M, R> {
+    /// Runs the job to completion, writing output part files under the
+    /// configured output path.
+    pub fn run(self) -> Result<JobOutcome, JobError> {
+        executor::run(self)
+    }
+}
+
+/// Builder for [`Job`].
+///
+/// ```
+/// # use sh_dfs::{Dfs, ClusterConfig};
+/// # use sh_mapreduce::{JobBuilder, Mapper, Reducer, MapContext, ReduceContext, InputSplit};
+/// struct Tokenize;
+/// impl Mapper for Tokenize {
+///     type K = String;
+///     type V = u64;
+///     fn map(&self, _s: &InputSplit, data: &str, ctx: &mut MapContext<String, u64>) {
+///         for w in data.split_whitespace() {
+///             ctx.emit(w.to_string(), 1);
+///         }
+///     }
+/// }
+/// struct Sum;
+/// impl Reducer for Sum {
+///     type K = String;
+///     type V = u64;
+///     fn reduce(&self, k: &String, vs: Vec<u64>, ctx: &mut ReduceContext) {
+///         ctx.output(format!("{k} {}", vs.iter().sum::<u64>()));
+///     }
+/// }
+/// let dfs = Dfs::new(ClusterConfig::small_for_tests());
+/// dfs.write_string("/in", "a b a\n").unwrap();
+/// let outcome = JobBuilder::new(&dfs, "wordcount")
+///     .input_file("/in").unwrap()
+///     .mapper(Tokenize)
+///     .reducer(Sum, 2)
+///     .output("/out")
+///     .build().unwrap()
+///     .run().unwrap();
+/// let mut text = outcome.read_output(&dfs).unwrap();
+/// text.sort();
+/// assert_eq!(text, vec!["a 2", "b 1"]);
+/// ```
+pub struct JobBuilder<M: Mapper> {
+    dfs: Dfs,
+    name: String,
+    splits: Vec<InputSplit>,
+    mapper: Option<M>,
+    combiner: Option<CombinerFn<M::K, M::V>>,
+    output: Option<String>,
+    pair_size: PairSizeFn<M::K, M::V>,
+}
+
+impl<M: Mapper> JobBuilder<M> {
+    /// Starts a job description against `dfs`.
+    pub fn new(dfs: &Dfs, name: &str) -> Self {
+        JobBuilder {
+            dfs: dfs.clone(),
+            name: name.to_string(),
+            splits: Vec::new(),
+            mapper: None,
+            combiner: None,
+            output: None,
+            pair_size: Arc::new(|_, _| std::mem::size_of::<M::K>() + std::mem::size_of::<M::V>()),
+        }
+    }
+
+    /// Adds default per-block splits for a heap file.
+    pub fn input_file(mut self, path: &str) -> Result<Self, JobError> {
+        self.splits.extend(InputSplit::from_file(&self.dfs, path)?);
+        Ok(self)
+    }
+
+    /// Adds pre-computed splits (the SpatialFileSplitter path).
+    pub fn input_splits(mut self, splits: Vec<InputSplit>) -> Self {
+        self.splits.extend(splits);
+        self
+    }
+
+    /// Sets the mapper.
+    pub fn mapper(mut self, mapper: M) -> Self {
+        self.mapper = Some(mapper);
+        self
+    }
+
+    /// Installs a map-side combiner.
+    pub fn combiner(
+        mut self,
+        f: impl Fn(&M::K, Vec<M::V>) -> Vec<M::V> + Send + Sync + 'static,
+    ) -> Self {
+        self.combiner = Some(Arc::new(f));
+        self
+    }
+
+    /// Overrides the shuffle pair-size estimator.
+    pub fn pair_size(mut self, f: impl Fn(&M::K, &M::V) -> usize + Send + Sync + 'static) -> Self {
+        self.pair_size = Arc::new(f);
+        self
+    }
+
+    /// Sets the output directory path.
+    pub fn output(mut self, path: &str) -> Self {
+        self.output = Some(path.to_string());
+        self
+    }
+
+    /// Finishes a job with a reduce phase.
+    pub fn reducer<R: Reducer<K = M::K, V = M::V>>(
+        self,
+        reducer: R,
+        num_reducers: usize,
+    ) -> JobBuilderWithReducer<M, R> {
+        JobBuilderWithReducer {
+            base: self,
+            reducer,
+            num_reducers,
+        }
+    }
+
+    /// Finishes a map-only job (output comes from `MapContext::output`).
+    pub fn map_only(self) -> Result<Job<M, NoReducer<M::K, M::V>>, JobError> {
+        let mapper = self
+            .mapper
+            .ok_or_else(|| JobError::Config("mapper not set".into()))?;
+        let output = self
+            .output
+            .ok_or_else(|| JobError::Config("output not set".into()))?;
+        Ok(Job {
+            dfs: self.dfs,
+            name: self.name,
+            splits: self.splits,
+            mapper,
+            reducer: None,
+            combiner: self.combiner,
+            num_reducers: 0,
+            output,
+            pair_size: self.pair_size,
+        })
+    }
+}
+
+/// Second-stage builder carrying the reducer.
+pub struct JobBuilderWithReducer<M: Mapper, R: Reducer<K = M::K, V = M::V>> {
+    base: JobBuilder<M>,
+    reducer: R,
+    num_reducers: usize,
+}
+
+impl<M: Mapper, R: Reducer<K = M::K, V = M::V>> JobBuilderWithReducer<M, R> {
+    /// Sets the output directory path.
+    pub fn output(mut self, path: &str) -> Self {
+        self.base.output = Some(path.to_string());
+        self
+    }
+
+    /// Validates and builds the job.
+    pub fn build(self) -> Result<Job<M, R>, JobError> {
+        if self.num_reducers == 0 {
+            return Err(JobError::Config(
+                "reduce job needs at least one reducer".into(),
+            ));
+        }
+        let mapper = self
+            .base
+            .mapper
+            .ok_or_else(|| JobError::Config("mapper not set".into()))?;
+        let output = self
+            .base
+            .output
+            .ok_or_else(|| JobError::Config("output not set".into()))?;
+        Ok(Job {
+            dfs: self.base.dfs,
+            name: self.base.name,
+            splits: self.base.splits,
+            mapper,
+            reducer: Some(self.reducer),
+            combiner: self.base.combiner,
+            num_reducers: self.num_reducers,
+            output,
+            pair_size: self.base.pair_size,
+        })
+    }
+}

@@ -1,0 +1,158 @@
+//! Input splits: the unit of map-task scheduling.
+
+use sh_dfs::{BlockInfo, Dfs, DfsError, NodeId};
+
+/// One map task's input: a set of blocks read together, plus optional
+/// spatial metadata attached by the SpatialFileSplitter in `sh-core`.
+///
+/// Plain Hadoop jobs use one split per block ([`InputSplit::from_file`]).
+/// SpatialHadoop jobs use one split per *index partition* (all blocks of
+/// the partition file), carrying the partition MBR so local-processing
+/// steps can apply partition-relative pruning rules.
+#[derive(Clone, Debug)]
+pub struct InputSplit {
+    /// Path the blocks belong to (diagnostics only).
+    pub path: String,
+    /// Blocks to read, in order.
+    pub blocks: Vec<BlockInfo>,
+    /// Input tag for multi-input jobs (e.g. joins: 0 = left, 1 = right).
+    pub tag: u32,
+    /// Index-partition id when this split is a spatial partition.
+    pub partition_id: Option<usize>,
+    /// Partition MBR `[x1, y1, x2, y2]` when spatially partitioned.
+    pub mbr: Option<[f64; 4]>,
+    /// Byte length of the leading blocks that belong to the *first* input
+    /// of a two-input split (distributed join pairs two partitions in one
+    /// split; blocks are record-aligned so this cuts between records).
+    pub first_input_bytes: Option<u64>,
+    /// Opaque per-split payload attached by the driver (e.g. the
+    /// dominance-power set a skyline mapper prunes against).
+    pub aux: Option<String>,
+}
+
+impl InputSplit {
+    /// Splits a two-input split's concatenated data back into the first
+    /// and second input's text.
+    pub fn split_data<'a>(&self, data: &'a str) -> (&'a str, &'a str) {
+        match self.first_input_bytes {
+            Some(b) => data.split_at(b as usize),
+            None => (data, ""),
+        }
+    }
+}
+
+impl InputSplit {
+    /// One split per block of `path` — Hadoop's default splitter.
+    pub fn from_file(dfs: &Dfs, path: &str) -> Result<Vec<InputSplit>, DfsError> {
+        Ok(dfs
+            .block_locations(path)?
+            .into_iter()
+            .map(|b| InputSplit {
+                path: path.to_string(),
+                blocks: vec![b],
+                tag: 0,
+                partition_id: None,
+                mbr: None,
+                first_input_bytes: None,
+                aux: None,
+            })
+            .collect())
+    }
+
+    /// A single split covering the whole file (small side-inputs).
+    pub fn whole_file(dfs: &Dfs, path: &str) -> Result<InputSplit, DfsError> {
+        Ok(InputSplit {
+            path: path.to_string(),
+            blocks: dfs.block_locations(path)?,
+            tag: 0,
+            partition_id: None,
+            mbr: None,
+            first_input_bytes: None,
+            aux: None,
+        })
+    }
+
+    /// Total input bytes.
+    pub fn len(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len).sum()
+    }
+
+    /// True when the split has no blocks (empty partition file).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Nodes holding a replica of the first block — the scheduler's
+    /// locality preference list.
+    pub fn preferred_nodes(&self) -> &[NodeId] {
+        self.blocks
+            .first()
+            .map(|b| b.replicas.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Returns a copy tagged as input `tag` (multi-input jobs).
+    pub fn with_tag(mut self, tag: u32) -> InputSplit {
+        self.tag = tag;
+        self
+    }
+
+    /// Attaches spatial partition metadata.
+    pub fn with_partition(mut self, id: usize, mbr: [f64; 4]) -> InputSplit {
+        self.partition_id = Some(id);
+        self.mbr = Some(mbr);
+        self
+    }
+
+    /// Attaches an opaque driver payload.
+    pub fn with_aux(mut self, aux: String) -> InputSplit {
+        self.aux = Some(aux);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sh_dfs::ClusterConfig;
+
+    #[test]
+    fn from_file_yields_one_split_per_block() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests()); // 8 KiB blocks
+        let mut w = fs.create("/f").unwrap();
+        for i in 0..2000 {
+            w.write_line(&format!("{i} {i}"));
+        }
+        w.close();
+        let splits = InputSplit::from_file(&fs, "/f").unwrap();
+        assert_eq!(splits.len(), fs.stat("/f").unwrap().num_blocks);
+        assert!(splits.len() > 1);
+        let total: u64 = splits.iter().map(InputSplit::len).sum();
+        assert_eq!(total, fs.stat("/f").unwrap().len);
+        for s in &splits {
+            assert!(!s.preferred_nodes().is_empty());
+        }
+    }
+
+    #[test]
+    fn whole_file_is_one_split() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        fs.write_string("/f", &"r\n".repeat(10_000)).unwrap();
+        let s = InputSplit::whole_file(&fs, "/f").unwrap();
+        assert!(s.blocks.len() > 1);
+        assert_eq!(s.len(), fs.stat("/f").unwrap().len);
+    }
+
+    #[test]
+    fn tagging_and_partition_metadata() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        fs.write_string("/f", "1 1\n").unwrap();
+        let s = InputSplit::whole_file(&fs, "/f")
+            .unwrap()
+            .with_tag(1)
+            .with_partition(7, [0.0, 0.0, 10.0, 10.0]);
+        assert_eq!(s.tag, 1);
+        assert_eq!(s.partition_id, Some(7));
+        assert_eq!(s.mbr, Some([0.0, 0.0, 10.0, 10.0]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Abstract syntax of Pigeon scripts.
+
+use sh_geom::{Point, Rect};
+use sh_index::PartitionKind;
+
+/// Record type of a dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordType {
+    Point,
+    Rectangle,
+    Polygon,
+}
+
+impl RecordType {
+    /// Parses a type name (`POINT`, `RECTANGLE`, `POLYGON`).
+    pub fn parse(s: &str) -> Option<RecordType> {
+        match s.to_ascii_uppercase().as_str() {
+            "POINT" => Some(RecordType::Point),
+            "RECTANGLE" | "RECT" => Some(RecordType::Rectangle),
+            "POLYGON" => Some(RecordType::Polygon),
+            _ => None,
+        }
+    }
+}
+
+/// One statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `v = LOAD '<path>' AS <type>;`
+    Load {
+        var: String,
+        path: String,
+        rtype: RecordType,
+    },
+    /// `v = IMPORT '<host path>' AS <type> INTO '<dfs path>';` — ingest
+    /// a real file from the host filesystem into the simulated DFS
+    /// (whitespace- or comma-separated coordinates, one record per line).
+    Import {
+        var: String,
+        host_path: String,
+        rtype: RecordType,
+        path: String,
+    },
+    /// `v = GENERATE <n> <type> <distribution> INTO '<path>';`
+    Generate {
+        var: String,
+        n: usize,
+        rtype: RecordType,
+        distribution: String,
+        path: String,
+    },
+    /// `v = DELAUNAY <src>;`
+    Delaunay { var: String, src: String },
+    /// `v = INDEX <src> AS <technique> INTO '<path>';`
+    Index {
+        var: String,
+        src: String,
+        kind: PartitionKind,
+        path: String,
+    },
+    /// `v = FILTER <src> BY Overlaps(RECTANGLE(x1, y1, x2, y2));`
+    RangeFilter {
+        var: String,
+        src: String,
+        query: Rect,
+    },
+    /// `v = KNN <src> POINT(x, y) K <k>;`
+    Knn {
+        var: String,
+        src: String,
+        q: Point,
+        k: usize,
+    },
+    /// `v = JOIN <left>, <right> PREDICATE Overlaps;`
+    Join {
+        var: String,
+        left: String,
+        right: String,
+    },
+    /// `v = KNNJOIN <left>, <right> K <k>;`
+    KnnJoin {
+        var: String,
+        left: String,
+        right: String,
+        k: usize,
+    },
+    /// `v = SKYLINE <src>;`
+    Skyline { var: String, src: String },
+    /// `v = CONVEXHULL <src>;`
+    ConvexHull { var: String, src: String },
+    /// `v = CLOSESTPAIR <src>;`
+    ClosestPair { var: String, src: String },
+    /// `v = FARTHESTPAIR <src>;`
+    FarthestPair { var: String, src: String },
+    /// `v = UNION <src>;`
+    Union { var: String, src: String },
+    /// `v = VORONOI <src>;`
+    Voronoi { var: String, src: String },
+    /// `DUMP <src>;`
+    Dump { src: String },
+    /// `DESCRIBE <src>;` — dataset statistics (count, MBR, bytes).
+    Describe { src: String },
+    /// `PLOT <src> WIDTH <w> HEIGHT <h> INTO '<path>';` — render a
+    /// density image of an indexed dataset (written as PGM in the DFS).
+    Plot {
+        src: String,
+        width: usize,
+        height: usize,
+        path: String,
+    },
+    /// `PLOTPYRAMID <src> LEVELS <l> TILE <px> INTO '<path>';` — render
+    /// the multilevel tile pyramid (one PGM per non-empty tile).
+    PlotPyramid {
+        src: String,
+        levels: usize,
+        tile_px: usize,
+        path: String,
+    },
+    /// `STORE <src> INTO '<path>';`
+    Store { src: String, path: String },
+}
+
+/// A parsed script.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Script {
+    pub stmts: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_type_parsing() {
+        assert_eq!(RecordType::parse("point"), Some(RecordType::Point));
+        assert_eq!(RecordType::parse("RECT"), Some(RecordType::Rectangle));
+        assert_eq!(RecordType::parse("Polygon"), Some(RecordType::Polygon));
+        assert_eq!(RecordType::parse("line"), None);
+    }
+}

@@ -1,0 +1,979 @@
+//! Script execution: routing statements to the operations layer.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sh_core::ops;
+use sh_core::storage;
+use sh_core::{OpError, SpatialFile};
+use sh_dfs::Dfs;
+use sh_geom::{Point, Polygon, Record, Rect};
+
+use crate::ast::{RecordType, Script, Stmt};
+
+/// Errors from parsing or executing a script.
+#[derive(Debug)]
+pub enum PigeonError {
+    /// Syntax error with its line number.
+    Parse { message: String, line: usize },
+    /// Reference to an unbound variable.
+    Undefined(String),
+    /// Statement applied to a value of the wrong kind.
+    Type(String),
+    /// Underlying operation failure.
+    Op(OpError),
+}
+
+impl fmt::Display for PigeonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PigeonError::Parse { message, line } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            PigeonError::Undefined(v) => write!(f, "undefined dataset: {v}"),
+            PigeonError::Type(m) => write!(f, "type error: {m}"),
+            PigeonError::Op(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PigeonError {}
+
+impl From<OpError> for PigeonError {
+    fn from(e: OpError) -> Self {
+        PigeonError::Op(e)
+    }
+}
+
+impl From<sh_dfs::DfsError> for PigeonError {
+    fn from(e: sh_dfs::DfsError) -> Self {
+        PigeonError::Op(OpError::Dfs(e))
+    }
+}
+
+/// A bound value in the script environment.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// An unindexed file in the DFS.
+    Heap { path: String, rtype: RecordType },
+    /// A spatially-indexed file.
+    Indexed {
+        file: SpatialFile,
+        rtype: RecordType,
+    },
+    /// Materialized result lines (one record per line).
+    Result(Vec<String>),
+}
+
+/// The Pigeon execution engine: an environment of named datasets over a
+/// simulated cluster.
+static OUT_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+pub struct Pigeon {
+    dfs: Dfs,
+    vars: HashMap<String, Value>,
+}
+
+impl Pigeon {
+    /// Creates an engine over the given DFS.
+    pub fn new(dfs: &Dfs) -> Pigeon {
+        Pigeon {
+            dfs: dfs.clone(),
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Looks up a bound value.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.vars.get(var)
+    }
+
+    fn lookup(&self, var: &str) -> Result<&Value, PigeonError> {
+        self.vars
+            .get(var)
+            .ok_or_else(|| PigeonError::Undefined(var.to_string()))
+    }
+
+    fn out_dir(&mut self, op: &str) -> String {
+        let seq = OUT_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        format!("/pigeon/{op}-{seq}")
+    }
+
+    /// Executes a script; returns the concatenated lines of all `DUMP`
+    /// statements in order.
+    pub fn execute(&mut self, script: &Script) -> Result<Vec<String>, PigeonError> {
+        let mut dumped = Vec::new();
+        for stmt in &script.stmts {
+            self.execute_stmt(stmt, &mut dumped)?;
+        }
+        Ok(dumped)
+    }
+
+    /// The universe of a points dataset (needed by heap-file fallbacks);
+    /// derived from the index when available.
+    fn universe_of(&self, value: &Value) -> Result<Rect, PigeonError> {
+        match value {
+            Value::Indexed { file, .. } => Ok(file.universe),
+            Value::Heap { path, .. } => {
+                // Driver-side scan for the MBR (cheap relative to jobs).
+                let text = self.dfs.read_to_string(path)?;
+                let mut mbr = Rect::empty();
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let p = Point::parse_line(line).map_err(OpError::from)?;
+                    mbr.expand_point(&p);
+                }
+                Ok(mbr)
+            }
+            Value::Result(_) => Err(PigeonError::Type(
+                "expected a dataset, found a result set".into(),
+            )),
+        }
+    }
+
+    fn execute_stmt(&mut self, stmt: &Stmt, dumped: &mut Vec<String>) -> Result<(), PigeonError> {
+        match stmt {
+            Stmt::Load { var, path, rtype } => {
+                if !self.dfs.exists(path) {
+                    return Err(PigeonError::Undefined(format!("no such file {path}")));
+                }
+                self.vars.insert(
+                    var.clone(),
+                    Value::Heap {
+                        path: path.clone(),
+                        rtype: *rtype,
+                    },
+                );
+            }
+            Stmt::Import {
+                var,
+                host_path,
+                rtype,
+                path,
+            } => {
+                let text = std::fs::read_to_string(host_path).map_err(|e| {
+                    PigeonError::Type(format!("cannot read host file {host_path}: {e}"))
+                })?;
+                let mut writer = self.dfs.create(path)?;
+                let mut imported = 0usize;
+                for (lineno, raw) in text.lines().enumerate() {
+                    let line = raw
+                        .trim()
+                        .replace(',', " ")
+                        .split_whitespace()
+                        .collect::<Vec<_>>()
+                        .join(" ");
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    // Validate against the declared type before storing.
+                    let ok = match rtype {
+                        RecordType::Point => Point::parse_line(&line).is_ok(),
+                        RecordType::Rectangle => Rect::parse_line(&line).is_ok(),
+                        RecordType::Polygon => Polygon::parse_line(&line).is_ok(),
+                    };
+                    if !ok {
+                        return Err(PigeonError::Type(format!(
+                            "{host_path}:{}: not a valid {rtype:?} record: {raw:?}",
+                            lineno + 1
+                        )));
+                    }
+                    writer.write_line(&line);
+                    imported += 1;
+                }
+                writer.close();
+                if imported == 0 {
+                    return Err(PigeonError::Type(format!("{host_path}: no records")));
+                }
+                self.vars.insert(
+                    var.clone(),
+                    Value::Heap {
+                        path: path.clone(),
+                        rtype: *rtype,
+                    },
+                );
+            }
+            Stmt::Generate {
+                var,
+                n,
+                rtype,
+                distribution,
+                path,
+            } => {
+                use sh_workload::Distribution as D;
+                let universe = sh_workload::default_universe();
+                let seed = 0xBEEF ^ (*n as u64);
+                match rtype {
+                    RecordType::Point => {
+                        let dist = match distribution.as_str() {
+                            "uniform" => Some(D::Uniform),
+                            "gaussian" => Some(D::Gaussian),
+                            "correlated" => Some(D::Correlated),
+                            "anticorrelated" | "anti" => Some(D::AntiCorrelated),
+                            "circular" => Some(D::Circular),
+                            "osm" | "osmlike" => None,
+                            other => {
+                                return Err(PigeonError::Type(format!(
+                                    "unknown distribution {other}"
+                                )))
+                            }
+                        };
+                        let pts = match dist {
+                            Some(d) => sh_workload::points(*n, d, &universe, seed),
+                            None => sh_workload::osm_like_points(*n, &universe, 8, seed),
+                        };
+                        storage::upload(&self.dfs, path, &pts)?;
+                    }
+                    RecordType::Rectangle => {
+                        let rs = sh_workload::rects(*n, &universe, universe.width() * 0.005, seed);
+                        storage::upload(&self.dfs, path, &rs)?;
+                    }
+                    RecordType::Polygon => {
+                        let ps = sh_workload::osm_like_polygons(
+                            *n,
+                            &universe,
+                            universe.width() * 0.008,
+                            seed,
+                        );
+                        storage::upload(&self.dfs, path, &ps)?;
+                    }
+                }
+                self.vars.insert(
+                    var.clone(),
+                    Value::Heap {
+                        path: path.clone(),
+                        rtype: *rtype,
+                    },
+                );
+            }
+            Stmt::Delaunay { var, src } => {
+                let out = self.out_dir("delaunay");
+                let tris = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::delaunay::delaunay_spatial(&self.dfs, &file, &out)?.value
+                    }
+                    Value::Heap { path, rtype } => {
+                        expect_points(src, rtype)?;
+                        let uni = self.universe_of(&Value::Heap {
+                            path: path.clone(),
+                            rtype,
+                        })?;
+                        ops::delaunay::delaunay_hadoop(&self.dfs, &path, &uni, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("DELAUNAY over a result set".into()))
+                    }
+                };
+                let lines = tris
+                    .iter()
+                    .map(|t| {
+                        format!(
+                            "{} {} | {} {} | {} {}",
+                            t.0[0].x, t.0[0].y, t.0[1].x, t.0[1].y, t.0[2].x, t.0[2].y
+                        )
+                    })
+                    .collect();
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::Index {
+                var,
+                src,
+                kind,
+                path,
+            } => {
+                let (heap, rtype) = match self.lookup(src)? {
+                    Value::Heap { path, rtype } => (path.clone(), *rtype),
+                    _ => {
+                        return Err(PigeonError::Type(format!(
+                            "INDEX expects a loaded heap file, {src} is not one"
+                        )))
+                    }
+                };
+                let file = match rtype {
+                    RecordType::Point => {
+                        storage::build_index::<Point>(&self.dfs, &heap, path, *kind)?
+                    }
+                    RecordType::Rectangle => {
+                        storage::build_index::<Rect>(&self.dfs, &heap, path, *kind)?
+                    }
+                    RecordType::Polygon => {
+                        storage::build_index::<Polygon>(&self.dfs, &heap, path, *kind)?
+                    }
+                }
+                .value;
+                self.vars
+                    .insert(var.clone(), Value::Indexed { file, rtype });
+            }
+            Stmt::RangeFilter { var, src, query } => {
+                let out = self.out_dir("range");
+                let lines = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => match rtype {
+                        RecordType::Point => to_lines(
+                            &ops::range::range_spatial::<Point>(&self.dfs, &file, query, &out)?
+                                .value,
+                        ),
+                        RecordType::Rectangle => to_lines(
+                            &ops::range::range_spatial::<Rect>(&self.dfs, &file, query, &out)?
+                                .value,
+                        ),
+                        RecordType::Polygon => to_lines(
+                            &ops::range::range_spatial::<Polygon>(&self.dfs, &file, query, &out)?
+                                .value,
+                        ),
+                    },
+                    Value::Heap { path, rtype } => match rtype {
+                        RecordType::Point => to_lines(
+                            &ops::range::range_hadoop::<Point>(&self.dfs, &path, query, &out)?
+                                .value,
+                        ),
+                        RecordType::Rectangle => to_lines(
+                            &ops::range::range_hadoop::<Rect>(&self.dfs, &path, query, &out)?.value,
+                        ),
+                        RecordType::Polygon => to_lines(
+                            &ops::range::range_hadoop::<Polygon>(&self.dfs, &path, query, &out)?
+                                .value,
+                        ),
+                    },
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("FILTER over a result set".into()))
+                    }
+                };
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::Knn { var, src, q, k } => {
+                let out = self.out_dir("knn");
+                let pts = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::knn::knn_spatial(&self.dfs, &file, q, *k, &out)?.value
+                    }
+                    Value::Heap { path, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::knn::knn_hadoop(&self.dfs, &path, q, *k, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("KNN over a result set".into()))
+                    }
+                };
+                self.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
+            }
+            Stmt::Join { var, left, right } => {
+                let out = self.out_dir("join");
+                let l = self.lookup(left)?.clone();
+                let r = self.lookup(right)?.clone();
+                let pairs = match (l, r) {
+                    (
+                        Value::Indexed {
+                            file: fa,
+                            rtype: ta,
+                        },
+                        Value::Indexed {
+                            file: fb,
+                            rtype: tb,
+                        },
+                    ) => {
+                        expect_rects(left, ta)?;
+                        expect_rects(right, tb)?;
+                        ops::join::distributed_join(&self.dfs, &fa, &fb, &out)?.value
+                    }
+                    (
+                        Value::Heap {
+                            path: pa,
+                            rtype: ta,
+                        },
+                        Value::Heap {
+                            path: pb,
+                            rtype: tb,
+                        },
+                    ) => {
+                        expect_rects(left, ta)?;
+                        expect_rects(right, tb)?;
+                        // Universe for the SJMR grid: union of both MBRs.
+                        let ua = self.universe_of(&Value::Heap {
+                            path: pa.clone(),
+                            rtype: ta,
+                        });
+                        // Heap rect files need a rect-aware scan; reuse
+                        // stored MBR from a quick driver read.
+                        let mut uni = Rect::empty();
+                        for path in [&pa, &pb] {
+                            let text = self.dfs.read_to_string(path)?;
+                            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                                uni.expand(&Rect::parse_line(line).map_err(OpError::from)?);
+                            }
+                        }
+                        drop(ua);
+                        ops::join::sjmr(&self.dfs, &pa, &pb, &uni, 16, &out)?.value
+                    }
+                    _ => {
+                        return Err(PigeonError::Type(
+                            "JOIN needs two heap files or two indexed files".into(),
+                        ))
+                    }
+                };
+                let lines = pairs
+                    .iter()
+                    .map(|(a, b)| format!("{} | {}", a.to_line(), b.to_line()))
+                    .collect();
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::KnnJoin {
+                var,
+                left,
+                right,
+                k,
+            } => {
+                let out = self.out_dir("knnjoin");
+                let (l, r) = (self.lookup(left)?.clone(), self.lookup(right)?.clone());
+                let rows = match (l, r) {
+                    (
+                        Value::Indexed {
+                            file: fa,
+                            rtype: ta,
+                        },
+                        Value::Indexed {
+                            file: fb,
+                            rtype: tb,
+                        },
+                    ) => {
+                        expect_points(left, ta)?;
+                        expect_points(right, tb)?;
+                        ops::knn_join::knn_join_spatial(&self.dfs, &fa, &fb, *k, &out)?.value
+                    }
+                    _ => {
+                        return Err(PigeonError::Type(
+                            "KNNJOIN needs two indexed POINT datasets".into(),
+                        ))
+                    }
+                };
+                let lines = rows
+                    .iter()
+                    .map(|row| {
+                        let mut s = format!("{} {} |", row.r.x, row.r.y);
+                        for n in &row.neighbors {
+                            s.push_str(&format!(" {} {}", n.x, n.y));
+                        }
+                        s
+                    })
+                    .collect();
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::Skyline { var, src } => {
+                let out = self.out_dir("skyline");
+                let pts = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::skyline::skyline_spatial(&self.dfs, &file, &out)?.value
+                    }
+                    Value::Heap { path, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::skyline::skyline_hadoop(&self.dfs, &path, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("SKYLINE over a result set".into()))
+                    }
+                };
+                self.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
+            }
+            Stmt::ConvexHull { var, src } => {
+                let out = self.out_dir("hull");
+                let pts = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::convex_hull::hull_spatial(&self.dfs, &file, &out)?.value
+                    }
+                    Value::Heap { path, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::convex_hull::hull_hadoop(&self.dfs, &path, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("CONVEXHULL over a result set".into()))
+                    }
+                };
+                self.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
+            }
+            Stmt::ClosestPair { var, src } => {
+                let out = self.out_dir("cp");
+                let pair = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::closest_pair::closest_pair_spatial(&self.dfs, &file, &out)?.value
+                    }
+                    _ => {
+                        return Err(PigeonError::Type(
+                            "CLOSESTPAIR requires an indexed dataset".into(),
+                        ))
+                    }
+                };
+                let lines = pair
+                    .map(|p| {
+                        vec![format!(
+                            "{} | {} | {}",
+                            p.a.to_line(),
+                            p.b.to_line(),
+                            p.distance
+                        )]
+                    })
+                    .unwrap_or_default();
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::FarthestPair { var, src } => {
+                let out = self.out_dir("fp");
+                let pair = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::farthest_pair::farthest_pair_spatial(&self.dfs, &file, &out)?.value
+                    }
+                    Value::Heap { path, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::farthest_pair::farthest_pair_hadoop(&self.dfs, &path, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("FARTHESTPAIR over a result set".into()))
+                    }
+                };
+                let lines = pair
+                    .map(|p| {
+                        vec![format!(
+                            "{} | {} | {}",
+                            p.a.to_line(),
+                            p.b.to_line(),
+                            p.distance
+                        )]
+                    })
+                    .unwrap_or_default();
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::Union { var, src } => {
+                let out = self.out_dir("union");
+                let segs = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        if rtype != RecordType::Polygon {
+                            return Err(PigeonError::Type(format!(
+                                "UNION expects polygons, {src} is not"
+                            )));
+                        }
+                        if file.is_disjoint() {
+                            ops::union::union_enhanced(&self.dfs, &file, &out)?.value
+                        } else {
+                            ops::union::union_spatial(&self.dfs, &file, &out)?.value
+                        }
+                    }
+                    Value::Heap { path, rtype } => {
+                        if rtype != RecordType::Polygon {
+                            return Err(PigeonError::Type(format!(
+                                "UNION expects polygons, {src} is not"
+                            )));
+                        }
+                        ops::union::union_hadoop(&self.dfs, &path, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("UNION over a result set".into()))
+                    }
+                };
+                self.vars
+                    .insert(var.clone(), Value::Result(to_lines(&segs)));
+            }
+            Stmt::Voronoi { var, src } => {
+                let out = self.out_dir("voronoi");
+                let cells = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => {
+                        expect_points(src, rtype)?;
+                        ops::voronoi::voronoi_spatial(&self.dfs, &file, &out)?.value
+                    }
+                    Value::Heap { path, rtype } => {
+                        expect_points(src, rtype)?;
+                        let uni = self.universe_of(&Value::Heap {
+                            path: path.clone(),
+                            rtype,
+                        })?;
+                        ops::voronoi::voronoi_hadoop(&self.dfs, &path, &uni, &out)?.value
+                    }
+                    Value::Result(_) => {
+                        return Err(PigeonError::Type("VORONOI over a result set".into()))
+                    }
+                };
+                let lines = cells
+                    .iter()
+                    .map(|c| {
+                        format!(
+                            "{} {} cell[{} vertices]",
+                            c.site.x,
+                            c.site.y,
+                            c.vertices.len()
+                        )
+                    })
+                    .collect();
+                self.vars.insert(var.clone(), Value::Result(lines));
+            }
+            Stmt::Describe { src } => {
+                let stats = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, .. } => ops::aggregate::stats_spatial(&file),
+                    Value::Heap { path, rtype } => {
+                        let out = self.out_dir("describe");
+                        match rtype {
+                            RecordType::Point => {
+                                ops::aggregate::stats_hadoop::<Point>(&self.dfs, &path, &out)?.value
+                            }
+                            RecordType::Rectangle => {
+                                ops::aggregate::stats_hadoop::<Rect>(&self.dfs, &path, &out)?.value
+                            }
+                            RecordType::Polygon => {
+                                ops::aggregate::stats_hadoop::<Polygon>(&self.dfs, &path, &out)?
+                                    .value
+                            }
+                        }
+                    }
+                    Value::Result(lines) => {
+                        dumped.push(format!("result set: {} rows", lines.len()));
+                        return Ok(());
+                    }
+                };
+                dumped.push(format!(
+                    "{src}: {} records, {} bytes, mbr [{}, {}] x [{}, {}]",
+                    stats.records,
+                    stats.bytes,
+                    stats.mbr.x1,
+                    stats.mbr.x2,
+                    stats.mbr.y1,
+                    stats.mbr.y2
+                ));
+            }
+            Stmt::Plot {
+                src,
+                width,
+                height,
+                path,
+            } => {
+                let (file, rtype) = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => (file, rtype),
+                    _ => return Err(PigeonError::Type("PLOT requires an indexed dataset".into())),
+                };
+                match rtype {
+                    RecordType::Point => {
+                        ops::plot::plot_spatial::<Point>(&self.dfs, &file, *width, *height, path)?
+                    }
+                    RecordType::Rectangle => {
+                        ops::plot::plot_spatial::<Rect>(&self.dfs, &file, *width, *height, path)?
+                    }
+                    RecordType::Polygon => {
+                        ops::plot::plot_spatial::<Polygon>(&self.dfs, &file, *width, *height, path)?
+                    }
+                };
+            }
+            Stmt::PlotPyramid {
+                src,
+                levels,
+                tile_px,
+                path,
+            } => {
+                let (file, rtype) = match self.lookup(src)?.clone() {
+                    Value::Indexed { file, rtype } => (file, rtype),
+                    _ => {
+                        return Err(PigeonError::Type(
+                            "PLOTPYRAMID requires an indexed dataset".into(),
+                        ))
+                    }
+                };
+                match rtype {
+                    RecordType::Point => ops::plot::plot_pyramid::<Point>(
+                        &self.dfs, &file, *levels, *tile_px, path,
+                    )?,
+                    RecordType::Rectangle => ops::plot::plot_pyramid::<Rect>(
+                        &self.dfs, &file, *levels, *tile_px, path,
+                    )?,
+                    RecordType::Polygon => ops::plot::plot_pyramid::<Polygon>(
+                        &self.dfs, &file, *levels, *tile_px, path,
+                    )?,
+                };
+            }
+            Stmt::Dump { src } => match self.lookup(src)? {
+                Value::Result(lines) => dumped.extend(lines.iter().cloned()),
+                Value::Heap { path, .. } => {
+                    let text = self.dfs.read_to_string(path)?;
+                    dumped.extend(text.lines().map(str::to_string));
+                }
+                Value::Indexed { file, .. } => {
+                    dumped.push(format!(
+                        "indexed file {} ({}; {} partitions, {} records)",
+                        file.dir,
+                        file.kind.name(),
+                        file.partitions.len(),
+                        file.total_records()
+                    ));
+                }
+            },
+            Stmt::Store { src, path } => {
+                let lines = match self.lookup(src)? {
+                    Value::Result(lines) => lines.clone(),
+                    _ => {
+                        return Err(PigeonError::Type(
+                            "STORE expects a computed result set".into(),
+                        ))
+                    }
+                };
+                let mut w = self.dfs.create(path)?;
+                for line in &lines {
+                    w.write_line(line);
+                }
+                w.close();
+            }
+        }
+        Ok(())
+    }
+}
+
+fn to_lines<R: Record>(records: &[R]) -> Vec<String> {
+    records.iter().map(Record::to_line).collect()
+}
+
+fn expect_points(var: &str, rtype: RecordType) -> Result<(), PigeonError> {
+    if rtype == RecordType::Point {
+        Ok(())
+    } else {
+        Err(PigeonError::Type(format!("{var} must be a POINT dataset")))
+    }
+}
+
+fn expect_rects(var: &str, rtype: RecordType) -> Result<(), PigeonError> {
+    if rtype == RecordType::Rectangle {
+        Ok(())
+    } else {
+        Err(PigeonError::Type(format!(
+            "{var} must be a RECTANGLE dataset"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_script;
+    use sh_core::storage::upload;
+    use sh_dfs::ClusterConfig;
+    use sh_workload::{points, rects, Distribution};
+
+    fn dfs_with_points() -> (Dfs, Vec<Point>) {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let pts = points(1500, Distribution::Uniform, &uni, 101);
+        upload(&dfs, "/data/points", &pts).unwrap();
+        (dfs, pts)
+    }
+
+    #[test]
+    fn end_to_end_range_query() {
+        let (dfs, pts) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             DUMP r;",
+        )
+        .unwrap();
+        let expected = pts
+            .iter()
+            .filter(|p| Rect::new(100.0, 100.0, 300.0, 300.0).contains_point(p))
+            .count();
+        assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn end_to_end_knn_and_store() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS str+ INTO '/idx/p';\n\
+             n = KNN i POINT(500, 500) K 7;\n\
+             STORE n INTO '/out/nn';\n\
+             DUMP n;",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 7);
+        assert_eq!(dfs.read_to_string("/out/nn").unwrap().lines().count(), 7);
+    }
+
+    #[test]
+    fn end_to_end_join() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 500.0, 500.0);
+        upload(&dfs, "/l", &rects(200, &uni, 30.0, 1)).unwrap();
+        upload(&dfs, "/r", &rects(200, &uni, 30.0, 2)).unwrap();
+        let indexed = run_script(
+            &dfs,
+            "a = LOAD '/l' AS RECTANGLE;\n\
+             b = LOAD '/r' AS RECTANGLE;\n\
+             ia = INDEX a AS grid INTO '/ia';\n\
+             ib = INDEX b AS grid INTO '/ib';\n\
+             j = JOIN ia, ib PREDICATE Overlaps;\n\
+             DUMP j;",
+        )
+        .unwrap();
+        let heap = run_script(
+            &dfs,
+            "a = LOAD '/l' AS RECTANGLE;\n\
+             b = LOAD '/r' AS RECTANGLE;\n\
+             j = JOIN a, b PREDICATE Overlaps;\n\
+             DUMP j;",
+        )
+        .unwrap();
+        let mut a = indexed.clone();
+        let mut b = heap.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "DJ and SJMR must agree");
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn cg_operations_run() {
+        let (dfs, pts) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             s = SKYLINE i;\n\
+             h = CONVEXHULL i;\n\
+             c = CLOSESTPAIR i;\n\
+             f = FARTHESTPAIR i;\n\
+             DUMP c;\n\
+             DUMP f;",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let _ = pts;
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let (dfs, _) = dfs_with_points();
+        let err = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS RECTANGLE;\n\
+             n = KNN p POINT(1, 1) K 2;",
+        )
+        .unwrap_err();
+        assert!(matches!(err, PigeonError::Type(_)), "{err}");
+        let err = run_script(&dfs, "DUMP nothing;").unwrap_err();
+        assert!(matches!(err, PigeonError::Undefined(_)));
+        let err = run_script(&dfs, "x = LOAD '/missing' AS POINT;").unwrap_err();
+        assert!(matches!(err, PigeonError::Undefined(_)));
+    }
+
+    #[test]
+    fn plot_statement_writes_pgm() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        run_script(
+            &dfs,
+            "p = GENERATE 1000 POINT gaussian INTO '/pl/p';\n\
+             i = INDEX p AS grid INTO '/pl/idx';\n\
+             PLOT i WIDTH 32 HEIGHT 32 INTO '/pl/img';",
+        )
+        .unwrap();
+        let pgm = dfs.read_to_string("/pl/img/image.pgm").unwrap();
+        assert!(pgm.starts_with("P2\n32 32\n255\n"));
+    }
+
+    #[test]
+    fn import_statement_reads_host_files() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let tmp = std::env::temp_dir().join("pigeon-import-test.csv");
+        std::fs::write(&tmp, "# comment\n1.5, 2.5\n3.0, 4.0\n\n5.0 6.0\n").unwrap();
+        let script = format!(
+            "p = IMPORT '{}' AS POINT INTO '/imp/points';\nDUMP p;",
+            tmp.display()
+        );
+        let out = run_script(&dfs, &script).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], "1.5 2.5");
+        std::fs::remove_file(&tmp).ok();
+
+        // Bad rows are rejected with a line number.
+        std::fs::write(&tmp, "1.0 2.0\nnot a point\n").unwrap();
+        let script = format!("p = IMPORT '{}' AS POINT INTO '/imp/bad';", tmp.display());
+        let err = run_script(&dfs, &script).unwrap_err();
+        assert!(err.to_string().contains(":2:"), "{err}");
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn plot_pyramid_statement_writes_tiles() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        run_script(
+            &dfs,
+            "p = GENERATE 800 POINT osm INTO '/py/p';\n\
+             i = INDEX p AS grid INTO '/py/idx';\n\
+             PLOTPYRAMID i LEVELS 2 TILE 16 INTO '/py/tiles';",
+        )
+        .unwrap();
+        assert!(dfs.exists("/py/tiles/tile-0-0-0.pgm"));
+        // Level 1 has up to 4 tiles; at least one exists.
+        assert!(!dfs.list("/py/tiles/tile-1-").is_empty());
+    }
+
+    #[test]
+    fn describe_statement() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let out = run_script(
+            &dfs,
+            "p = GENERATE 500 POINT uniform INTO '/d/p';\n\
+             i = INDEX p AS grid INTO '/d/idx';\n\
+             DESCRIBE p;\n\
+             DESCRIBE i;",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(out[0].contains("500 records"), "{}", out[0]);
+        assert!(out[1].contains("500 records"), "{}", out[1]);
+    }
+
+    #[test]
+    fn knnjoin_statement_end_to_end() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let out = run_script(
+            &dfs,
+            "a = GENERATE 300 POINT uniform INTO '/kj/a';\n\
+             b = GENERATE 500 POINT gaussian INTO '/kj/b';\n\
+             ia = INDEX a AS grid INTO '/kj/ia';\n\
+             ib = INDEX b AS grid INTO '/kj/ib';\n\
+             j = KNNJOIN ia, ib K 3;\n\
+             DUMP j;",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 300, "one row per left point");
+        assert!(out[0].contains('|'));
+    }
+
+    #[test]
+    fn generate_and_delaunay_end_to_end() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let out = run_script(
+            &dfs,
+            "p = GENERATE 400 POINT uniform INTO '/gen/p';\n\
+             i = INDEX p AS grid INTO '/gen/idx';\n\
+             t = DELAUNAY i;\n\
+             DUMP t;",
+        )
+        .unwrap();
+        // 2n - h - 2 triangles; just check plausibility and format.
+        assert!(out.len() > 500, "{} triangles", out.len());
+        assert!(out[0].contains('|'));
+        assert!(dfs.exists("/gen/p"));
+    }
+
+    #[test]
+    fn dump_indexed_shows_catalogue_summary() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS quadtree INTO '/idx/q';\n\
+             DUMP i;",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].contains("quadtree"), "{}", out[0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Tokenizer for Pigeon scripts.
+
+use std::fmt;
+
+/// A lexical token with its line number (1-based) for error reporting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword (case-preserved; keyword matching is
+    /// case-insensitive).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    Equals,
+    Comma,
+    Semicolon,
+    LParen,
+    RParen,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Str(s) => write!(f, "'{s}'"),
+            TokenKind::Num(n) => write!(f, "{n}"),
+            TokenKind::Equals => write!(f, "="),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Semicolon => write!(f, ";"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+        }
+    }
+}
+
+/// Lexer error: an unexpected character or unterminated string.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub message: String,
+    pub line: usize,
+}
+
+/// Tokenizes a script. `--` starts a comment running to end of line.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    // Comment to end of line.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else if chars.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                    let n = lex_number(&mut chars, true, line)?;
+                    tokens.push(Token { kind: n, line });
+                } else {
+                    return Err(LexError {
+                        message: "unexpected '-'".into(),
+                        line,
+                    });
+                }
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Equals,
+                    line,
+                });
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
+            }
+            ';' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                line,
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_number(&mut chars, false, line)?;
+                tokens.push(Token { kind: n, line });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '+' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    negative: bool,
+    line: usize,
+) -> Result<TokenKind, LexError> {
+    let mut s = String::new();
+    if negative {
+        s.push('-');
+    }
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() || c == '.' || c == 'e' || c == 'E' {
+            s.push(c);
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    s.parse::<f64>().map(TokenKind::Num).map_err(|_| LexError {
+        message: format!("bad number literal {s:?}"),
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_statement() {
+        assert_eq!(
+            kinds("pts = LOAD '/data' AS POINT;"),
+            vec![
+                TokenKind::Ident("pts".into()),
+                TokenKind::Equals,
+                TokenKind::Ident("LOAD".into()),
+                TokenKind::Str("/data".into()),
+                TokenKind::Ident("AS".into()),
+                TokenKind::Ident("POINT".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_including_negative_and_float() {
+        assert_eq!(
+            kinds("POINT(1.5, -2)"),
+            vec![
+                TokenKind::Ident("POINT".into()),
+                TokenKind::LParen,
+                TokenKind::Num(1.5),
+                TokenKind::Comma,
+                TokenKind::Num(-2.0),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = tokenize("a = b; -- comment ; ignored\nc = d;").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks.last().unwrap().line, 2);
+    }
+
+    #[test]
+    fn str_plus_ident() {
+        assert_eq!(kinds("STR+"), vec![TokenKind::Ident("STR+".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a @ b").is_err());
+        assert!(tokenize("- x").is_err());
+    }
+}

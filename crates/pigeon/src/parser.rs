@@ -1,0 +1,377 @@
+//! Recursive-descent parser for Pigeon.
+
+use sh_geom::{Point, Rect};
+use sh_index::PartitionKind;
+
+use crate::ast::{RecordType, Script, Stmt};
+use crate::exec::PigeonError;
+use crate::lexer::{tokenize, Token, TokenKind};
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> PigeonError {
+        PigeonError::Parse {
+            message: msg.into(),
+            line: self.line(),
+        }
+    }
+
+    fn next(&mut self) -> Result<TokenKind, PigeonError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .map(|t| t.kind.clone())
+            .ok_or_else(|| self.err("unexpected end of script"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), PigeonError> {
+        let t = self.next()?;
+        if &t == kind {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {kind}, found {t}")))
+        }
+    }
+
+    /// Consumes a case-insensitive keyword.
+    fn keyword(&mut self, kw: &str) -> Result<(), PigeonError> {
+        match self.next()? {
+            TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(self.err(format!("expected {kw}, found {other}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, PigeonError> {
+        match self.next()? {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, PigeonError> {
+        match self.next()? {
+            TokenKind::Str(s) => Ok(s),
+            other => Err(self.err(format!("expected string literal, found {other}"))),
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, PigeonError> {
+        match self.next()? {
+            TokenKind::Num(n) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other}"))),
+        }
+    }
+
+    /// `RECTANGLE(x1, y1, x2, y2)`
+    fn rectangle(&mut self) -> Result<Rect, PigeonError> {
+        self.keyword("RECTANGLE")?;
+        self.expect(&TokenKind::LParen)?;
+        let x1 = self.number()?;
+        self.expect(&TokenKind::Comma)?;
+        let y1 = self.number()?;
+        self.expect(&TokenKind::Comma)?;
+        let x2 = self.number()?;
+        self.expect(&TokenKind::Comma)?;
+        let y2 = self.number()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Rect::new(x1, y1, x2, y2))
+    }
+
+    /// `POINT(x, y)`
+    fn point(&mut self) -> Result<Point, PigeonError> {
+        self.keyword("POINT")?;
+        self.expect(&TokenKind::LParen)?;
+        let x = self.number()?;
+        self.expect(&TokenKind::Comma)?;
+        let y = self.number()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(Point::new(x, y))
+    }
+
+    fn statement(&mut self) -> Result<Stmt, PigeonError> {
+        let first = self.ident()?;
+        // Non-assignment statements.
+        if first.eq_ignore_ascii_case("DUMP") {
+            let src = self.ident()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Dump { src });
+        }
+        if first.eq_ignore_ascii_case("DESCRIBE") {
+            let src = self.ident()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Describe { src });
+        }
+        if first.eq_ignore_ascii_case("PLOTPYRAMID") {
+            let src = self.ident()?;
+            self.keyword("LEVELS")?;
+            let levels = self.number()? as usize;
+            self.keyword("TILE")?;
+            let tile_px = self.number()? as usize;
+            self.keyword("INTO")?;
+            let path = self.string()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::PlotPyramid {
+                src,
+                levels,
+                tile_px,
+                path,
+            });
+        }
+        if first.eq_ignore_ascii_case("PLOT") {
+            let src = self.ident()?;
+            self.keyword("WIDTH")?;
+            let width = self.number()? as usize;
+            self.keyword("HEIGHT")?;
+            let height = self.number()? as usize;
+            self.keyword("INTO")?;
+            let path = self.string()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Plot {
+                src,
+                width,
+                height,
+                path,
+            });
+        }
+        if first.eq_ignore_ascii_case("STORE") {
+            let src = self.ident()?;
+            self.keyword("INTO")?;
+            let path = self.string()?;
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Store { src, path });
+        }
+        // Assignments: `var = VERB ...;`
+        let var = first;
+        self.expect(&TokenKind::Equals)?;
+        let verb = self.ident()?;
+        let stmt = match verb.to_ascii_uppercase().as_str() {
+            "LOAD" => {
+                let path = self.string()?;
+                self.keyword("AS")?;
+                let tname = self.ident()?;
+                let rtype = RecordType::parse(&tname)
+                    .ok_or_else(|| self.err(format!("unknown record type {tname}")))?;
+                Stmt::Load { var, path, rtype }
+            }
+            "INDEX" => {
+                let src = self.ident()?;
+                self.keyword("AS")?;
+                let kname = self.ident()?;
+                let kind = PartitionKind::parse(&kname)
+                    .ok_or_else(|| self.err(format!("unknown index technique {kname}")))?;
+                self.keyword("INTO")?;
+                let path = self.string()?;
+                Stmt::Index {
+                    var,
+                    src,
+                    kind,
+                    path,
+                }
+            }
+            "FILTER" => {
+                let src = self.ident()?;
+                self.keyword("BY")?;
+                self.keyword("Overlaps")?;
+                self.expect(&TokenKind::LParen)?;
+                let query = self.rectangle()?;
+                self.expect(&TokenKind::RParen)?;
+                Stmt::RangeFilter { var, src, query }
+            }
+            "KNN" => {
+                let src = self.ident()?;
+                let q = self.point()?;
+                self.keyword("K")?;
+                let k = self.number()? as usize;
+                Stmt::Knn { var, src, q, k }
+            }
+            "JOIN" => {
+                let left = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let right = self.ident()?;
+                self.keyword("PREDICATE")?;
+                self.keyword("Overlaps")?;
+                Stmt::Join { var, left, right }
+            }
+            "KNNJOIN" => {
+                let left = self.ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let right = self.ident()?;
+                self.keyword("K")?;
+                let k = self.number()? as usize;
+                Stmt::KnnJoin {
+                    var,
+                    left,
+                    right,
+                    k,
+                }
+            }
+            "SKYLINE" => Stmt::Skyline {
+                var,
+                src: self.ident()?,
+            },
+            "CONVEXHULL" => Stmt::ConvexHull {
+                var,
+                src: self.ident()?,
+            },
+            "CLOSESTPAIR" => Stmt::ClosestPair {
+                var,
+                src: self.ident()?,
+            },
+            "FARTHESTPAIR" => Stmt::FarthestPair {
+                var,
+                src: self.ident()?,
+            },
+            "UNION" => Stmt::Union {
+                var,
+                src: self.ident()?,
+            },
+            "VORONOI" => Stmt::Voronoi {
+                var,
+                src: self.ident()?,
+            },
+            "DELAUNAY" => Stmt::Delaunay {
+                var,
+                src: self.ident()?,
+            },
+            "IMPORT" => {
+                let host_path = self.string()?;
+                self.keyword("AS")?;
+                let tname = self.ident()?;
+                let rtype = RecordType::parse(&tname)
+                    .ok_or_else(|| self.err(format!("unknown record type {tname}")))?;
+                self.keyword("INTO")?;
+                let path = self.string()?;
+                Stmt::Import {
+                    var,
+                    host_path,
+                    rtype,
+                    path,
+                }
+            }
+            "GENERATE" => {
+                let n = self.number()? as usize;
+                let tname = self.ident()?;
+                let rtype = RecordType::parse(&tname)
+                    .ok_or_else(|| self.err(format!("unknown record type {tname}")))?;
+                let distribution = self.ident()?.to_ascii_lowercase();
+                self.keyword("INTO")?;
+                let path = self.string()?;
+                Stmt::Generate {
+                    var,
+                    n,
+                    rtype,
+                    distribution,
+                    path,
+                }
+            }
+            other => return Err(self.err(format!("unknown operation {other}"))),
+        };
+        self.expect(&TokenKind::Semicolon)?;
+        Ok(stmt)
+    }
+}
+
+/// Parses a full script.
+pub fn parse(source: &str) -> Result<Script, PigeonError> {
+    let tokens = tokenize(source).map_err(|e| PigeonError::Parse {
+        message: e.message,
+        line: e.line,
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        stmts.push(p.statement()?);
+    }
+    Ok(Script { stmts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_script_parses() {
+        let script = parse(
+            "pts = LOAD '/data/p' AS POINT;\n\
+             idx = INDEX pts AS STR+ INTO '/idx/p';\n\
+             sel = FILTER idx BY Overlaps(RECTANGLE(0, 0, 10, 10));\n\
+             nn  = KNN idx POINT(5, 5) K 3;\n\
+             j   = JOIN idx, idx PREDICATE Overlaps;\n\
+             s   = SKYLINE idx;\n\
+             DUMP s;\n\
+             STORE nn INTO '/out/nn';",
+        )
+        .unwrap();
+        assert_eq!(script.stmts.len(), 8);
+        assert!(matches!(script.stmts[0], Stmt::Load { .. }));
+        assert!(matches!(
+            script.stmts[1],
+            Stmt::Index {
+                kind: PartitionKind::StrPlus,
+                ..
+            }
+        ));
+        assert!(matches!(script.stmts[3], Stmt::Knn { k: 3, .. }));
+        assert!(matches!(script.stmts.last(), Some(Stmt::Store { .. })));
+    }
+
+    #[test]
+    fn generate_and_delaunay_parse() {
+        let s = parse(
+            "d = GENERATE 5000 POINT uniform INTO '/gen/p';\n\
+             i = INDEX d AS grid INTO '/gen/idx';\n\
+             t = DELAUNAY i;\n\
+             DUMP t;",
+        )
+        .unwrap();
+        assert_eq!(s.stmts.len(), 4);
+        assert!(matches!(
+            s.stmts[0],
+            Stmt::Generate {
+                n: 5000,
+                rtype: RecordType::Point,
+                ..
+            }
+        ));
+        assert!(matches!(s.stmts[2], Stmt::Delaunay { .. }));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let s = parse("a = load '/x' as point;\ndump a;").unwrap();
+        assert_eq!(s.stmts.len(), 2);
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("a = LOAD '/x' AS POINT;\nb = FROBNICATE a;").unwrap_err();
+        match err {
+            PigeonError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_geometry() {
+        assert!(parse("a = FILTER x BY Overlaps(RECTANGLE(1, 2, 3));").is_err());
+        assert!(parse("a = KNN x POINT(1) K 2;").is_err());
+        assert!(parse("a = LOAD '/x' AS TRIANGLE;").is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Index gallery: renders every partitioning technique over the same
+//! skewed dataset as SVG files, plus the Voronoi diagram of a sample —
+//! the fastest way to *see* how the seven techniques differ.
+//!
+//! ```text
+//! cargo run --release --example index_gallery
+//! open gallery/str+.svg
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+
+use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::dfs::{ClusterConfig, Dfs};
+use spatialhadoop::geom::algorithms::voronoi::VoronoiDiagram;
+use spatialhadoop::geom::point::sort_dedup;
+use spatialhadoop::geom::{Point, Rect};
+use spatialhadoop::index::PartitionKind;
+use spatialhadoop::workload::{default_universe, osm_like_points};
+
+const CANVAS: f64 = 800.0;
+
+fn main() {
+    let universe = default_universe();
+    let pts = osm_like_points(60_000, &universe, 10, 2024);
+    fs::create_dir_all("gallery").expect("create gallery dir");
+
+    // One SVG per technique: partition cells + a sample of the points.
+    for kind in PartitionKind::ALL {
+        let dfs = Dfs::new(ClusterConfig::paper_cluster(16 * 1024));
+        upload(&dfs, "/g/points", &pts).expect("upload");
+        let file = build_index::<Point>(&dfs, "/g/points", "/g/idx", kind)
+            .expect("build index")
+            .value;
+        let mut svg = svg_header(&universe);
+        // Points first (under the cell outlines).
+        for p in pts.iter().step_by(30) {
+            let (x, y) = project(p, &universe);
+            let _ = writeln!(
+                svg,
+                r##"<circle cx="{x:.1}" cy="{y:.1}" r="1" fill="#4a7aa7" fill-opacity="0.5"/>"##
+            );
+        }
+        for part in &file.partitions {
+            let r = part.mbr_rect();
+            let (x1, y2) = project(&Point::new(r.x1, r.y1), &universe);
+            let (x2, y1) = project(&Point::new(r.x2, r.y2), &universe);
+            let _ = writeln!(
+                svg,
+                r##"<rect x="{x1:.1}" y="{y1:.1}" width="{:.1}" height="{:.1}" fill="none" stroke="#c0392b" stroke-width="1"/>"##,
+                x2 - x1,
+                y2 - y1
+            );
+        }
+        svg.push_str("</svg>\n");
+        let name = kind.name().replace('+', "plus");
+        let path = format!("gallery/{name}.svg");
+        fs::write(&path, &svg).expect("write svg");
+        println!(
+            "{path}: {} partitions ({})",
+            file.partitions.len(),
+            if kind.is_disjoint() {
+                "disjoint"
+            } else {
+                "overlapping"
+            }
+        );
+    }
+
+    // Voronoi diagram of a 600-site sample.
+    let mut sites: Vec<Point> = pts.iter().step_by(100).copied().collect();
+    sort_dedup(&mut sites);
+    let vd = VoronoiDiagram::build(&sites);
+    let mut svg = svg_header(&universe);
+    for cell in vd.cells.iter().filter(|c| c.bounded) {
+        let mut d = String::new();
+        for (i, v) in cell.vertices.iter().enumerate() {
+            let (x, y) = project(v, &universe);
+            let _ = write!(d, "{}{x:.1},{y:.1} ", if i == 0 { "M" } else { "L" });
+        }
+        let _ = writeln!(
+            svg,
+            r##"<path d="{d}Z" fill="none" stroke="#2c3e50" stroke-width="0.7"/>"##
+        );
+    }
+    for s in &sites {
+        let (x, y) = project(s, &universe);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.5" fill="#c0392b"/>"##
+        );
+    }
+    svg.push_str("</svg>\n");
+    fs::write("gallery/voronoi.svg", &svg).expect("write voronoi svg");
+    println!(
+        "gallery/voronoi.svg: {} sites, {} bounded cells",
+        sites.len(),
+        vd.cells.iter().filter(|c| c.bounded).count()
+    );
+}
+
+fn svg_header(universe: &Rect) -> String {
+    let _ = universe;
+    format!(
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{c}" height="{c}" viewBox="0 0 {c} {c}">
+<rect width="{c}" height="{c}" fill="#fdfaf4"/>
+"##,
+        c = CANVAS
+    )
+}
+
+/// Projects universe coordinates to SVG pixels (y-axis flipped).
+fn project(p: &Point, universe: &Rect) -> (f64, f64) {
+    let x = (p.x - universe.x1) / universe.width() * CANVAS;
+    let y = CANVAS - (p.y - universe.y1) / universe.height() * CANVAS;
+    (x, y)
+}

@@ -1,0 +1,73 @@
+//! Quickstart: load a dataset, build a spatial index, and run the two
+//! bread-and-butter queries (range + kNN) on both Hadoop and
+//! SpatialHadoop plans.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use spatialhadoop::core::ops::{knn, range};
+use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::dfs::{ClusterConfig, Dfs};
+use spatialhadoop::geom::{Point, Rect};
+use spatialhadoop::index::PartitionKind;
+use spatialhadoop::workload::{default_universe, points, Distribution};
+
+fn main() {
+    // A simulated 25-node cluster with laptop-scaled 64 KiB blocks.
+    let dfs = Dfs::new(ClusterConfig::paper_cluster(64 * 1024));
+
+    // 1. Generate and load 100k uniform points as a heap (text) file.
+    let universe = default_universe();
+    let pts = points(100_000, Distribution::Uniform, &universe, 42);
+    upload(&dfs, "/data/points", &pts).expect("upload");
+    println!(
+        "loaded {} points into {} blocks",
+        pts.len(),
+        dfs.stat("/data/points").unwrap().num_blocks
+    );
+
+    // 2. Bulk-build an STR+ index (sample -> boundaries -> partition).
+    let built = build_index::<Point>(
+        &dfs,
+        "/data/points",
+        "/index/points",
+        PartitionKind::StrPlus,
+    )
+    .expect("index build");
+    let build_time = built.sim().total();
+    let file = built.value;
+    println!(
+        "built {} index: {} partitions, simulated build time {build_time:.1}s",
+        file.kind.name(),
+        file.partitions.len(),
+    );
+
+    // 3. Range query: full scan vs. index.
+    let query = Rect::new(250_000.0, 250_000.0, 300_000.0, 300_000.0);
+    let h = range::range_hadoop::<Point>(&dfs, "/data/points", &query, "/out/range-h")
+        .expect("hadoop range");
+    let s =
+        range::range_spatial::<Point>(&dfs, &file, &query, "/out/range-s").expect("spatial range");
+    assert_eq!(h.value.len(), s.value.len());
+    println!(
+        "range query -> {} results | hadoop scans {} tasks ({:.2}s scan phase) | \
+         spatialhadoop opens {} ({:.2}s scan phase, {:.0}x less I/O)",
+        s.value.len(),
+        h.map_tasks(),
+        h.sim().map,
+        s.map_tasks(),
+        s.sim().map,
+        (h.counter("map.input.bytes.local") + h.counter("map.input.bytes.remote")) as f64
+            / (s.counter("map.input.bytes.local") + s.counter("map.input.bytes.remote")).max(1)
+                as f64
+    );
+
+    // 4. kNN around the universe centre.
+    let q = Point::new(500_000.0, 500_000.0);
+    let nn = knn::knn_spatial(&dfs, &file, &q, 5, "/out/knn").expect("knn");
+    println!("5 nearest neighbours of {q} (in {} round(s)):", nn.rounds());
+    for p in &nn.value {
+        println!("  {p}  (distance {:.1})", p.distance(&q));
+    }
+}

@@ -1,0 +1,101 @@
+//! Urban analytics over OSM-like data — the scenario the paper's
+//! introduction motivates: billions of points of interest from
+//! OpenStreetMap-style extracts, queried interactively.
+//!
+//! The workload: clustered "city" points + a rectangle dataset of
+//! administrative districts. We answer three product questions:
+//!
+//! 1. *coverage*: which districts contain which points (spatial join),
+//! 2. *hot zone*: all points inside a downtown window (range query),
+//! 3. *dispatch*: the nearest 10 points to an incident (kNN),
+//!
+//! and run the last one through the Pigeon language layer too.
+//!
+//! ```text
+//! cargo run --example urban_analytics
+//! ```
+
+use spatialhadoop::core::ops::{join, knn, range};
+use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::dfs::{ClusterConfig, Dfs};
+use spatialhadoop::geom::{Point, Rect};
+use spatialhadoop::index::PartitionKind;
+use spatialhadoop::pigeon;
+use spatialhadoop::workload::{default_universe, osm_like_points, rects};
+
+fn main() {
+    let dfs = Dfs::new(ClusterConfig::paper_cluster(64 * 1024));
+    let universe = default_universe();
+
+    // --- data: 150k clustered POIs and 5k districts -------------------
+    let pois = osm_like_points(150_000, &universe, 12, 7);
+    let districts = rects(5_000, &universe, 25_000.0, 8);
+    upload(&dfs, "/city/pois", &pois).expect("upload pois");
+    upload(&dfs, "/city/districts", &districts).expect("upload districts");
+
+    let poi_index = build_index::<Point>(&dfs, "/city/pois", "/idx/pois", PartitionKind::StrPlus)
+        .expect("index pois")
+        .value;
+    let district_index = build_index::<Rect>(
+        &dfs,
+        "/city/districts",
+        "/idx/districts",
+        PartitionKind::StrPlus,
+    )
+    .expect("index districts")
+    .value;
+    println!(
+        "indexed {} POIs ({} partitions) and {} districts ({} partitions)",
+        pois.len(),
+        poi_index.partitions.len(),
+        districts.len(),
+        district_index.partitions.len()
+    );
+
+    // --- 1. coverage: district x district overlap audit ----------------
+    let overlaps = join::distributed_join(&dfs, &district_index, &district_index, "/out/join")
+        .expect("district join");
+    println!(
+        "district overlap audit: {} overlapping pairs found in {:.1} simulated seconds \
+         ({} of {} partition pairs processed)",
+        overlaps.value.len(),
+        overlaps.sim().total(),
+        overlaps.counter("join.pairs.processed"),
+        overlaps.counter("join.pairs.considered"),
+    );
+
+    // --- 2. hot zone --------------------------------------------------
+    let downtown = Rect::new(400_000.0, 400_000.0, 480_000.0, 480_000.0);
+    let hot = range::range_spatial::<Point>(&dfs, &poi_index, &downtown, "/out/hot")
+        .expect("range query");
+    println!(
+        "downtown window holds {} POIs (answered from {} of {} partitions)",
+        hot.value.len(),
+        hot.map_tasks(),
+        poi_index.partitions.len()
+    );
+
+    // --- 3. dispatch ----------------------------------------------------
+    let incident = Point::new(612_000.0, 388_000.0);
+    let nearest = knn::knn_spatial(&dfs, &poi_index, &incident, 10, "/out/knn").expect("knn");
+    println!(
+        "10 nearest POIs to the incident at {incident} (rounds: {}):",
+        nearest.rounds()
+    );
+    for (i, p) in nearest.value.iter().enumerate() {
+        println!("  #{:<2} {p}  ({:.0} m)", i + 1, p.distance(&incident));
+    }
+
+    // --- the same dispatch query in Pigeon ------------------------------
+    let script = "\
+        pois = LOAD '/city/pois' AS POINT;\n\
+        idx  = INDEX pois AS str+ INTO '/idx/pois-pigeon';\n\
+        near = KNN idx POINT(612000, 388000) K 10;\n\
+        DUMP near;";
+    let dumped = pigeon::run_script(&dfs, script).expect("pigeon script");
+    assert_eq!(dumped.len(), nearest.value.len());
+    println!(
+        "pigeon agrees: {} rows from the language layer",
+        dumped.len()
+    );
+}

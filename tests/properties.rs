@@ -1,0 +1,367 @@
+//! Property-based tests (proptest) over the whole stack: for arbitrary
+//! random inputs, distributed results must equal single-machine results,
+//! and structural invariants of the substrates must hold.
+
+use proptest::prelude::*;
+use spatialhadoop::core::ops::{range, single, skyline};
+use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::dfs::{ClusterConfig, Dfs};
+use spatialhadoop::geom::algorithms::closest_pair::{closest_pair, closest_pair_naive};
+use spatialhadoop::geom::algorithms::convex_hull::{convex_hull, hull_contains};
+use spatialhadoop::geom::algorithms::delaunay::{in_circle, Triangulation};
+use spatialhadoop::geom::algorithms::farthest_pair::{farthest_pair, farthest_pair_naive};
+use spatialhadoop::geom::algorithms::skyline::{skyline as skyline_kernel, skyline_naive};
+use spatialhadoop::geom::point::sort_dedup;
+use spatialhadoop::geom::{Point, Record, Rect};
+use spatialhadoop::index::curve::{hilbert_point, hilbert_value};
+use spatialhadoop::index::{owns_point, GlobalPartitioning, LocalRTree, PartitionKind};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0.0..1000.0f64, 0.0..1000.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), 2..max)
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0.0..900.0f64, 0.0..900.0f64, 1.0..100.0f64, 1.0..100.0f64)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hull_contains_every_input_point(pts in arb_points(120)) {
+        let hull = convex_hull(&pts);
+        for p in &pts {
+            prop_assert!(hull_contains(&hull, p), "{p} outside its own hull");
+        }
+    }
+
+    #[test]
+    fn skyline_fast_matches_naive(pts in arb_points(120)) {
+        let mut fast = skyline_kernel(&pts);
+        fast.sort_by(Point::cmp_xy);
+        prop_assert_eq!(fast, skyline_naive(&pts));
+    }
+
+    #[test]
+    fn closest_pair_matches_naive(pts in arb_points(100)) {
+        let fast = closest_pair(&pts).unwrap();
+        let slow = closest_pair_naive(&pts).unwrap();
+        prop_assert!((fast.distance - slow.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn farthest_pair_matches_naive(pts in arb_points(100)) {
+        let fast = farthest_pair(&pts);
+        let slow = farthest_pair_naive(&pts);
+        match (fast, slow) {
+            (Some(f), Some(s)) => prop_assert!((f.distance - s.distance).abs() < 1e-9),
+            (f, s) => prop_assert_eq!(f.is_some(), s.is_some()),
+        }
+    }
+
+    #[test]
+    fn delaunay_empty_circumcircle(pts in arb_points(60)) {
+        let mut sites = pts;
+        sort_dedup(&mut sites);
+        prop_assume!(sites.len() >= 3);
+        let tri = Triangulation::build(&sites);
+        for t in tri.triangles() {
+            let [a, b, c] = t.map(|i| sites[i]);
+            for (k, p) in sites.iter().enumerate() {
+                if !t.contains(&k) {
+                    prop_assert!(!in_circle(&a, &b, &c, p));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hilbert_curve_is_bijective(x in 0u32..65536, y in 0u32..65536) {
+        prop_assert_eq!(hilbert_point(hilbert_value(x, y)), (x, y));
+    }
+
+    #[test]
+    fn rtree_query_equals_linear_scan(rects in prop::collection::vec(arb_rect(), 1..150),
+                                      q in arb_rect()) {
+        let tree = LocalRTree::build(rects.clone());
+        let expected: Vec<usize> = rects
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.intersects(&q))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(tree.query(&q), expected);
+    }
+
+    #[test]
+    fn disjoint_partitionings_give_unique_owners(
+        pts in arb_points(200),
+        kind in prop::sample::select(vec![
+            PartitionKind::Grid,
+            PartitionKind::QuadTree,
+            PartitionKind::KdTree,
+            PartitionKind::StrPlus,
+        ]),
+        target in 2usize..20,
+    ) {
+        let universe = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let gp = GlobalPartitioning::build(kind, &pts, universe, target);
+        for p in &pts {
+            let owners: Vec<usize> = (0..gp.len())
+                .filter(|&i| owns_point(&gp.cell(i), p, &universe))
+                .collect();
+            prop_assert_eq!(owners.len(), 1, "{} owners for {}", owners.len(), p);
+        }
+    }
+
+    #[test]
+    fn disjoint_rect_assignment_covers_every_overlapping_cell(
+        pts in arb_points(150),
+        rects in prop::collection::vec(arb_rect(), 1..40),
+        kind in prop::sample::select(vec![
+            PartitionKind::Grid,
+            PartitionKind::QuadTree,
+            PartitionKind::KdTree,
+            PartitionKind::StrPlus,
+        ]),
+    ) {
+        let universe = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let gp = GlobalPartitioning::build(kind, &pts, universe, 12);
+        for r in &rects {
+            let assigned: std::collections::HashSet<usize> =
+                gp.assign(r).into_iter().collect();
+            prop_assert!(!assigned.is_empty());
+            for i in 0..gp.len() {
+                let cell = gp.cell(i);
+                // Positive-area overlap must be assigned (zero-area edge
+                // touches may legitimately go either way).
+                let pos_overlap = cell
+                    .intersection(r)
+                    .map(|x| x.area() > 0.0)
+                    .unwrap_or(false);
+                if pos_overlap {
+                    prop_assert!(
+                        assigned.contains(&i),
+                        "{}: rect {r} overlaps cell {i} but was not assigned",
+                        kind.name()
+                    );
+                }
+                // And every assigned cell really intersects the record.
+                if assigned.contains(&i) {
+                    prop_assert!(cell.intersects(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_assignment_is_singular(
+        pts in arb_points(200),
+        rects in prop::collection::vec(arb_rect(), 1..40),
+        kind in prop::sample::select(vec![
+            PartitionKind::Str,
+            PartitionKind::ZCurve,
+            PartitionKind::Hilbert,
+        ]),
+    ) {
+        let universe = Rect::new(0.0, 0.0, 1000.0, 1000.0);
+        let gp = GlobalPartitioning::build(kind, &pts, universe, 10);
+        for r in &rects {
+            let assigned = gp.assign(r);
+            prop_assert_eq!(assigned.len(), 1, "{}", kind.name());
+            prop_assert!(assigned[0] < gp.len());
+        }
+    }
+
+    #[test]
+    fn record_lines_roundtrip(pts in arb_points(30), rects in prop::collection::vec(arb_rect(), 1..30)) {
+        for p in &pts {
+            prop_assert_eq!(&Point::parse_line(&p.to_line()).unwrap(), p);
+        }
+        for r in &rects {
+            prop_assert_eq!(&Rect::parse_line(&r.to_line()).unwrap(), r);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn disjoint_polygon_union_keeps_all_perimeter(
+        centers in prop::collection::vec((0.0..900.0f64, 0.0..900.0f64), 1..12)
+    ) {
+        // Far-apart polygons (no overlap): boundary = every edge.
+        use spatialhadoop::geom::algorithms::union::{boundary_union, total_length};
+        use spatialhadoop::geom::Polygon;
+        let polys: Vec<Polygon> = centers
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, _))| {
+                // Lay them out on a coarse lattice so they never touch.
+                let x = (i % 10) as f64 * 100.0;
+                let y = (i / 10) as f64 * 100.0;
+                Polygon::from_rect(&Rect::new(x, y, x + 10.0, y + 10.0))
+            })
+            .collect();
+        let segs = boundary_union(&polys);
+        let expected: f64 = polys.iter().map(Polygon::perimeter).sum();
+        prop_assert!((total_length(&segs) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn voronoi_safe_cells_survive_additions(
+        pts in arb_points(80),
+        extra in arb_points(20),
+    ) {
+        use spatialhadoop::geom::algorithms::voronoi::{cell_fingerprint, VoronoiDiagram};
+        let partition = Rect::new(250.0, 250.0, 750.0, 750.0);
+        let mut inside: Vec<Point> = pts
+            .into_iter()
+            .filter(|p| partition.contains_point(p))
+            .collect();
+        sort_dedup(&mut inside);
+        prop_assume!(inside.len() >= 4);
+        let local = VoronoiDiagram::build(&inside);
+        let safe: Vec<_> = local.cells.iter().filter(|c| c.is_safe(&partition)).collect();
+        // Add only points strictly outside the partition.
+        let mut all = inside.clone();
+        all.extend(extra.iter().filter(|p| !partition.contains_point(p)));
+        sort_dedup(&mut all);
+        let global = VoronoiDiagram::build(&all);
+        for s in safe {
+            let g = global
+                .cells
+                .iter()
+                .find(|c| c.site.approx_eq(&s.site))
+                .expect("site still present");
+            prop_assert_eq!(cell_fingerprint(g), cell_fingerprint(s));
+        }
+    }
+
+    #[test]
+    fn reservoir_sampling_is_within_bounds(k in 0usize..50, n in 0usize..500, seed in 0u64..100) {
+        use spatialhadoop::index::sampler::reservoir_sample;
+        let s = reservoir_sample(0..n, k, seed);
+        prop_assert_eq!(s.len(), k.min(n));
+        for x in s {
+            prop_assert!(x < n);
+        }
+    }
+
+    #[test]
+    fn segment_clipping_stays_inside(ax in 0.0..100.0f64, ay in 0.0..100.0f64,
+                                     bx in 0.0..100.0f64, by in 0.0..100.0f64) {
+        use spatialhadoop::geom::Segment;
+        let s = Segment::new(Point::new(ax, ay), Point::new(bx, by));
+        let clip = Rect::new(25.0, 25.0, 75.0, 75.0);
+        if let Some(c) = s.clip(&clip) {
+            let grown = clip.buffer(1e-9);
+            prop_assert!(grown.contains_point(&c.a));
+            prop_assert!(grown.contains_point(&c.b));
+            prop_assert!(c.length() <= s.length() + 1e-9);
+        }
+    }
+}
+
+// Distributed-vs-baseline properties run fewer cases: each case spins up
+// a DFS and runs MapReduce jobs.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn distributed_range_query_matches_scan(
+        pts in arb_points(800),
+        q in arb_rect(),
+        kind in prop::sample::select(vec![
+            PartitionKind::Grid,
+            PartitionKind::StrPlus,
+            PartitionKind::Str,
+            PartitionKind::Hilbert,
+        ]),
+    ) {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        upload(&dfs, "/pp/points", &pts).unwrap();
+        let file = build_index::<Point>(&dfs, "/pp/points", "/pp/idx", kind).unwrap().value;
+        let got = range::range_spatial::<Point>(&dfs, &file, &q, "/pp/out").unwrap();
+        let mut got_pts = got.value;
+        got_pts.sort_by(Point::cmp_xy);
+        let mut expected = single::range_query(&pts, &q).value;
+        expected.sort_by(Point::cmp_xy);
+        prop_assert_eq!(got_pts, expected);
+    }
+
+    #[test]
+    fn distributed_delaunay_matches_kernel(pts in arb_points(400)) {
+        use spatialhadoop::core::ops::delaunay::{delaunay_spatial, Tri};
+        use spatialhadoop::geom::algorithms::delaunay::Triangulation;
+        let mut sites = pts;
+        sort_dedup(&mut sites);
+        prop_assume!(sites.len() >= 10);
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        upload(&dfs, "/pd/points", &sites).unwrap();
+        let file = build_index::<Point>(&dfs, "/pd/points", "/pd/idx", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        let got = delaunay_spatial(&dfs, &file, "/pd/out").unwrap();
+        let tri = Triangulation::build(&sites);
+        let mut expected: Vec<_> = tri
+            .triangles()
+            .into_iter()
+            .map(|t| Tri(t.map(|i| sites[i])).fingerprint())
+            .collect();
+        expected.sort();
+        let mut got_fp: Vec<_> = got.value.iter().map(Tri::fingerprint).collect();
+        got_fp.sort();
+        prop_assert_eq!(got_fp, expected);
+    }
+
+    #[test]
+    fn distributed_hull_and_closest_pair_match_kernels(pts in arb_points(600)) {
+        use spatialhadoop::core::ops::{closest_pair, convex_hull};
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        upload(&dfs, "/ph/points", &pts).unwrap();
+        let file = build_index::<Point>(&dfs, "/ph/points", "/ph/idx", PartitionKind::StrPlus)
+            .unwrap()
+            .value;
+        let hull = convex_hull::hull_enhanced(&dfs, &file, "/ph/hull").unwrap();
+        let mut got: Vec<Point> = hull.value;
+        got.sort_by(Point::cmp_xy);
+        let mut expected = spatialhadoop::geom::algorithms::convex_hull::convex_hull(&pts);
+        expected.sort_by(Point::cmp_xy);
+        prop_assert_eq!(got, expected);
+
+        let cp = closest_pair::closest_pair_spatial(&dfs, &file, "/ph/cp").unwrap();
+        let truth = closest_pair(&pts).unwrap();
+        prop_assert!((cp.value.unwrap().distance - truth.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pigeon_parser_never_panics(source in ".{0,120}") {
+        // Arbitrary input must produce Ok or a structured error, never a
+        // panic.
+        let _ = spatialhadoop::pigeon::parser::parse(&source);
+    }
+
+    #[test]
+    fn distributed_skyline_matches_kernel(pts in arb_points(800)) {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        upload(&dfs, "/ps/points", &pts).unwrap();
+        let file = build_index::<Point>(&dfs, "/ps/points", "/ps/idx", PartitionKind::StrPlus)
+            .unwrap()
+            .value;
+        let got = skyline::skyline_output_sensitive(&dfs, &file, "/ps/out").unwrap();
+        let mut got_pts = got.value;
+        got_pts.sort_by(Point::cmp_xy);
+        let mut expected = skyline_kernel(&pts);
+        expected.sort_by(Point::cmp_xy);
+        expected.dedup_by(|a, b| a.approx_eq(b));
+        got_pts.dedup_by(|a, b| a.approx_eq(b));
+        prop_assert_eq!(got_pts, expected);
+    }
+}
