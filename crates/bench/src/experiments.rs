@@ -476,9 +476,18 @@ pub fn e10_union() -> Table {
         ],
     );
     let workloads: Vec<(String, Vec<Polygon>)> = vec![
-        ("simple-500".into(), osm_like_polygons(500, &uni(), 8_000.0, 31)),
-        ("simple-1000".into(), osm_like_polygons(1000, &uni(), 8_000.0, 31)),
-        ("simple-2000".into(), osm_like_polygons(2000, &uni(), 8_000.0, 31)),
+        (
+            "simple-500".into(),
+            osm_like_polygons(500, &uni(), 8_000.0, 31),
+        ),
+        (
+            "simple-1000".into(),
+            osm_like_polygons(1000, &uni(), 8_000.0, 31),
+        ),
+        (
+            "simple-2000".into(),
+            osm_like_polygons(2000, &uni(), 8_000.0, 31),
+        ),
         (
             "complex-1000".into(),
             sh_workload::osm_like_polygons_complex(1000, &uni(), 8_000.0, 12, 32),

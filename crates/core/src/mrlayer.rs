@@ -40,6 +40,25 @@ impl SpatialFileSplitter {
     }
 }
 
+/// Selectivity of a splitter decision: how many of the file's
+/// partitions the filter function kept, and how many records those
+/// surviving partitions hold. `records_emitted` is left at zero for the
+/// operation to fill once the answer size is known.
+pub fn splitter_selectivity(
+    file: &SpatialFile,
+    splits: &[sh_mapreduce::InputSplit],
+) -> sh_trace::Selectivity {
+    let kept: std::collections::BTreeSet<usize> =
+        splits.iter().filter_map(|s| s.partition_id).collect();
+    let records_scanned = file
+        .partitions
+        .iter()
+        .filter(|m| kept.contains(&m.id))
+        .map(|m| m.records)
+        .sum();
+    sh_trace::Selectivity::of_split(file.partitions.len(), splits.len(), records_scanned)
+}
+
 /// SpatialRecordReader: parses a split's text back into records and can
 /// bulk-load the partition's local R-tree for index-assisted map
 /// functions.

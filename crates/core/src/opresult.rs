@@ -5,6 +5,7 @@ use std::fmt;
 use sh_dfs::DfsError;
 use sh_geom::ParseError;
 use sh_mapreduce::{JobError, JobOutcome, SimBreakdown};
+use sh_trace::{JobProfile, Selectivity};
 
 /// Error surfaced by the operations layer.
 #[derive(Debug)]
@@ -103,6 +104,48 @@ impl<T> OpResult<T> {
             value: f(self.value),
             jobs: self.jobs,
         }
+    }
+
+    /// Records the operation's splitter selectivity on the final job's
+    /// profile and mirrors it into the global metrics registry under
+    /// `op.*`.
+    pub fn with_selectivity(mut self, sel: Selectivity) -> OpResult<T> {
+        let g = sh_trace::global();
+        g.counter_add("op.completed", 1);
+        g.counter_add("op.partitions.scanned", sel.partitions_scanned);
+        g.counter_add("op.partitions.pruned", sel.partitions_pruned);
+        g.counter_add("op.records.scanned", sel.records_scanned);
+        g.counter_add("op.records.emitted", sel.records_emitted);
+        if let Some(job) = self.jobs.last_mut() {
+            job.profile.selectivity = sel;
+        }
+        self
+    }
+
+    /// Selectivity summed across all jobs (set by [`with_selectivity`]).
+    ///
+    /// [`with_selectivity`]: OpResult::with_selectivity
+    pub fn selectivity(&self) -> Selectivity {
+        let mut acc = Selectivity::default();
+        for j in &self.jobs {
+            let s = &j.profile.selectivity;
+            acc.partitions_total += s.partitions_total;
+            acc.partitions_scanned += s.partitions_scanned;
+            acc.partitions_pruned += s.partitions_pruned;
+            acc.records_scanned += s.records_scanned;
+            acc.records_emitted += s.records_emitted;
+        }
+        acc
+    }
+
+    /// Aggregated profile across all of the operation's jobs, named
+    /// after the operation (multi-round ops sum their rounds).
+    pub fn profile(&self, op: &str) -> JobProfile {
+        let mut p = JobProfile::new(op);
+        for j in &self.jobs {
+            p.absorb(&j.profile);
+        }
+        p
     }
 }
 

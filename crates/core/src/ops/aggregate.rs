@@ -115,7 +115,9 @@ pub fn stats_hadoop<R: Record>(
         bytes: v[1] as u64,
         mbr: Rect::new(v[2], v[3], v[4], v[5]),
     };
-    Ok(OpResult::new(value, vec![job]))
+    let mut sel = sh_trace::Selectivity::full_scan(job.map_tasks, 1);
+    sel.records_scanned = value.records;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// Statistics of an indexed file: answered entirely from the catalogue —

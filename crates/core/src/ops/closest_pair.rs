@@ -128,7 +128,9 @@ pub fn closest_pair_hadoop_unsound(
             Some(PointPair::new(Point::new(v[0], v[1]), Point::new(v[2], v[3])).canonical())
         }
     };
-    Ok(OpResult::new(value, vec![job]))
+    let emitted = value.is_some() as u64 * 2;
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, emitted);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// Distributed closest pair over a disjoint index.
@@ -143,6 +145,7 @@ pub fn closest_pair_spatial(
         ));
     }
     let splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("closest-pair:{}", file.dir))
         .input_splits(splits)
         .mapper(LocalClosestPairMapper)
@@ -161,7 +164,8 @@ pub fn closest_pair_spatial(
             Some(PointPair::new(Point::new(v[0], v[1]), Point::new(v[2], v[3])).canonical())
         }
     };
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.is_some() as u64 * 2;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 #[cfg(test)]

@@ -63,7 +63,8 @@ pub fn hull_hadoop(dfs: &Dfs, heap: &str, out_dir: &str) -> Result<OpResult<Vec<
         .build()?
         .run()?;
     let value = hull_from_output(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// The four-skyline partition filter: a partition survives if its MBR is
@@ -100,6 +101,7 @@ pub fn hull_spatial(
         hull_candidate_partitions(file).into_iter().collect();
     let pruned = file.partitions.len() - keep.len();
     let splits = SpatialFileSplitter::splits(dfs, file, |m| keep.contains(&m.id))?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let mut job = JobBuilder::new(dfs, &format!("hull-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(LocalHullMapper)
@@ -110,7 +112,8 @@ pub fn hull_spatial(
     job.counters
         .insert("hull.partitions.pruned".into(), pruned as u64);
     let value = hull_from_output(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 // ------------------------------------------------------------ enhanced
@@ -291,6 +294,7 @@ pub fn hull_enhanced(
                 .with_aux(encode_rects(&boxes)),
         );
     }
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("hull-enhanced:{}", file.dir))
         .input_splits(splits)
         .mapper(EnhancedHullMapper)
@@ -304,7 +308,8 @@ pub fn hull_enhanced(
         .map(|l| Point::parse_line(l).map_err(OpError::from))
         .collect::<Result<_, _>>()?;
     let value = convex_hull(&candidates);
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn hull_from_output(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<Point>, OpError> {

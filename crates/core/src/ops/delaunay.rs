@@ -159,6 +159,7 @@ pub fn delaunay_spatial(
         ));
     }
     let splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("delaunay-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(LocalDtMapper)
@@ -226,25 +227,23 @@ pub fn delaunay_spatial(
             emitted += 1;
         }
         let cfg = dfs.config();
-        jobs.push(JobOutcome {
-            name: "delaunay-spatial:driver-merge".into(),
-            output: out_dir.into(),
-            counters: std::collections::BTreeMap::from([(
-                "delaunay.flushed.merge".to_string(),
-                emitted,
-            )]),
-            sim: SimBreakdown {
+        jobs.push(JobOutcome::synthetic(
+            "delaunay-spatial:driver-merge",
+            out_dir,
+            std::collections::BTreeMap::from([("delaunay.flushed.merge".to_string(), emitted)]),
+            SimBreakdown {
                 startup: 0.0,
                 map: 0.0,
                 shuffle: text.len() as f64 / cfg.network_bandwidth,
                 reduce: t0.elapsed().as_secs_f64(),
             },
-            wall: t0.elapsed(),
-            map_tasks: 0,
-            reduce_tasks: 1,
-        });
+            t0.elapsed(),
+            0,
+            1,
+        ));
     }
-    Ok(OpResult::new(triangles, jobs))
+    sel.records_emitted = triangles.len() as u64;
+    Ok(OpResult::new(triangles, jobs).with_selectivity(sel))
 }
 
 struct StripDtMapper {
@@ -323,24 +322,22 @@ pub fn delaunay_hadoop(
         .map(|t| Tri(t.map(|i| sites[i])))
         .collect();
     let cfg = dfs.config();
-    let merge = JobOutcome {
-        name: "delaunay-hadoop:driver-merge".into(),
-        output: out_dir.into(),
-        counters: std::collections::BTreeMap::from([(
-            "delaunay.merge.bytes".to_string(),
-            transferred,
-        )]),
-        sim: SimBreakdown {
+    let merge = JobOutcome::synthetic(
+        "delaunay-hadoop:driver-merge",
+        out_dir,
+        std::collections::BTreeMap::from([("delaunay.merge.bytes".to_string(), transferred)]),
+        SimBreakdown {
             startup: 0.0,
             map: 0.0,
             shuffle: transferred as f64 / cfg.network_bandwidth,
             reduce: t0.elapsed().as_secs_f64(),
         },
-        wall: t0.elapsed(),
-        map_tasks: 0,
-        reduce_tasks: 1,
-    };
-    Ok(OpResult::new(value, vec![job, merge]))
+        t0.elapsed(),
+        0,
+        1,
+    );
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job, merge]).with_selectivity(sel))
 }
 
 #[cfg(test)]

@@ -74,7 +74,8 @@ pub fn farthest_pair_hadoop(
         .build()?
         .run()?;
     let value = parse_pair(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.is_some() as u64 * 2);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 struct PairFarthestMapper;
@@ -128,6 +129,7 @@ pub fn farthest_pair_spatial(
             .collect();
     let pruned = file.partitions.len() - keep.len();
     let splits = crate::mrlayer::SpatialFileSplitter::splits(dfs, file, |m| keep.contains(&m.id))?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let mut job = JobBuilder::new(dfs, &format!("fp-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(HullForwardMapper)
@@ -138,7 +140,8 @@ pub fn farthest_pair_spatial(
     job.counters
         .insert("fp.partitions.pruned".into(), pruned as u64);
     let value = parse_pair(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.is_some() as u64 * 2;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// Pair-pruning farthest pair (the paper's fallback when the hull is too
@@ -220,7 +223,11 @@ pub fn farthest_pair_pairs(
     job.counters
         .insert("fp.pairs.processed".into(), pairs.len() as u64);
     let value = parse_pair(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    // Selectivity counts partition *pairs*: the unit the two-pass
+    // bound filter prunes.
+    let mut sel = sh_trace::Selectivity::of_split(total_pairs, pairs.len(), 0);
+    sel.records_emitted = value.is_some() as u64 * 2;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn parse_pair(dfs: &Dfs, job: &sh_mapreduce::JobOutcome) -> Result<Option<PointPair>, OpError> {

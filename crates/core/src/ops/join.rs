@@ -21,6 +21,7 @@ use sh_mapreduce::{
 use crate::catalog::SpatialFile;
 use crate::mrlayer::{reference_point, SpatialRecordReader};
 use crate::opresult::{OpError, OpResult};
+use sh_trace::Selectivity;
 
 fn format_pair(a: &Rect, b: &Rect) -> String {
     format!(
@@ -129,7 +130,8 @@ pub fn sjmr(
         .build()?
         .run()?;
     let value = parse_output(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 // ------------------------------------------------------- distributed join
@@ -280,7 +282,11 @@ pub fn distributed_join(
     job.counters
         .insert("join.pairs.processed".into(), processed as u64);
     let value = parse_output(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    // Selectivity counts partition *pairs*: the unit the filter step
+    // prunes in a distributed join.
+    let mut sel = Selectivity::of_split(total_pairs, processed, 0);
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 // -------------------------------------------------- polygon overlap join
@@ -348,6 +354,8 @@ pub fn polygon_join(
     out_dir: &str,
 ) -> Result<OpResult<Vec<(sh_geom::Polygon, sh_geom::Polygon)>>, OpError> {
     let splits = pair_splits(dfs, a, b)?;
+    let total_pairs = a.partitions.len() * b.partitions.len();
+    let processed = splits.len();
     let job = JobBuilder::new(dfs, &format!("polyjoin:{}:{}", a.dir, b.dir))
         .input_splits(splits)
         .mapper(PolygonDjMapper {
@@ -367,7 +375,9 @@ pub fn polygon_join(
             <sh_geom::Polygon as sh_geom::Record>::parse_line(r).map_err(OpError::from)?,
         ));
     }
-    Ok(OpResult::new(value, vec![job]))
+    let mut sel = Selectivity::of_split(total_pairs, processed, 0);
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn parse_output(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<(Rect, Rect)>, OpError> {

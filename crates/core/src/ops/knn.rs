@@ -21,6 +21,7 @@ use sh_mapreduce::{
 use crate::catalog::SpatialFile;
 use crate::mrlayer::{SpatialFileSplitter, SpatialRecordReader};
 use crate::opresult::{OpError, OpResult};
+use sh_trace::Selectivity;
 
 /// Local top-k of a point set (ascending distance; ties by coordinates).
 fn local_top_k(points: &[Point], q: &Point, k: usize) -> Vec<Point> {
@@ -79,7 +80,8 @@ pub fn knn_hadoop(
         .build()?
         .run()?;
     let value = parse_points(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 struct KnnIndexMapper<R: Record> {
@@ -195,7 +197,16 @@ pub fn knn_spatial(
         if (enough && needs.is_empty()) || (processed.len() == file.partitions.len()) {
             let mut result = best;
             result.truncate(k);
-            return Ok(OpResult::new(result, jobs));
+            let records_scanned = file
+                .partitions
+                .iter()
+                .filter(|m| processed.contains(&m.id))
+                .map(|m| m.records)
+                .sum();
+            let mut sel =
+                Selectivity::of_split(file.partitions.len(), processed.len(), records_scanned);
+            sel.records_emitted = result.len() as u64;
+            return Ok(OpResult::new(result, jobs).with_selectivity(sel));
         }
         frontier = if needs.is_empty() {
             // Not enough points seen yet: widen to the nearest

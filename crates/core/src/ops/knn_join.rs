@@ -287,7 +287,15 @@ pub fn knn_join_spatial(
         }
     }
     rows.sort_by(|a, b| a.r.cmp_xy(&b.r));
-    Ok(OpResult::new(rows, jobs))
+    // Every R partition is scanned; pruning happens on the S side per
+    // R partition, so report R-partition coverage here.
+    let mut sel = sh_trace::Selectivity::of_split(
+        r_file.partitions.len(),
+        r_file.partitions.len(),
+        r_file.total_records(),
+    );
+    sel.records_emitted = rows.len() as u64;
+    Ok(OpResult::new(rows, jobs).with_selectivity(sel))
 }
 
 /// Single-machine baseline: exact kNN of every `R` point against `S`.

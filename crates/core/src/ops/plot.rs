@@ -163,6 +163,7 @@ pub fn plot_spatial<R: Record>(
     out_dir: &str,
 ) -> Result<OpResult<Raster>, OpError> {
     let splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("plot:{}", file.dir))
         .input_splits(splits)
         .mapper(PlotMapper::<R> {
@@ -199,7 +200,8 @@ pub fn plot_spatial<R: Record>(
         }
     }
     dfs.write_string(&format!("{out_dir}/image.pgm"), &raster.to_pgm())?;
-    Ok(OpResult::new(raster, vec![job]))
+    sel.records_emitted = raster.total();
+    Ok(OpResult::new(raster, vec![job]).with_selectivity(sel))
 }
 
 // ---------------------------------------------------------- tile pyramid
@@ -307,6 +309,7 @@ pub fn plot_pyramid<R: Record>(
     out_dir: &str,
 ) -> Result<OpResult<TilePyramid>, OpError> {
     let splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("plot-pyramid:{}", file.dir))
         .input_splits(splits)
         .mapper(PyramidMapper::<R> {
@@ -353,7 +356,8 @@ pub fn plot_pyramid<R: Record>(
         )?;
         pyramid.tiles.insert((level, tx, ty), raster);
     }
-    Ok(OpResult::new(pyramid, vec![job]))
+    sel.records_emitted = pyramid.tiles.len() as u64;
+    Ok(OpResult::new(pyramid, vec![job]).with_selectivity(sel))
 }
 
 /// Single-machine rasterization baseline.

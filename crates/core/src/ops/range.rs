@@ -16,8 +16,9 @@ use sh_index::owns_point;
 use sh_mapreduce::{InputSplit, JobBuilder, MapContext, Mapper};
 
 use crate::catalog::SpatialFile;
-use crate::mrlayer::{split_cell, SpatialFileSplitter, SpatialRecordReader};
+use crate::mrlayer::{split_cell, splitter_selectivity, SpatialFileSplitter, SpatialRecordReader};
 use crate::opresult::{OpError, OpResult};
+use sh_trace::Selectivity;
 
 struct ScanMapper<R: Record> {
     query: Rect,
@@ -103,7 +104,8 @@ pub fn range_hadoop<R: Record>(
         .map_only()?
         .run()?;
     let value = parse_output::<R>(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// Ablation switches for [`range_spatial_with`] (DESIGN.md §5).
@@ -147,6 +149,7 @@ pub fn range_spatial_with<R: Record>(
         !options.filter || m.mbr_rect().intersects(query)
     })?;
     let pruned = file.partitions.len() - splits.len();
+    let mut sel = splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("range-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(IndexedMapper::<R> {
@@ -163,7 +166,8 @@ pub fn range_spatial_with<R: Record>(
     job.counters
         .insert("range.partitions.pruned".into(), pruned as u64);
     let value = parse_output::<R>(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn parse_output<R: Record>(dfs: &Dfs, job: &sh_mapreduce::JobOutcome) -> Result<Vec<R>, OpError> {

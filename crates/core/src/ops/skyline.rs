@@ -85,7 +85,8 @@ pub fn skyline_hadoop_naive(
         .build()?
         .run()?;
     let value = sorted_points(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// Hadoop skyline: full scan, local skyline per split, single-reducer
@@ -103,7 +104,8 @@ pub fn skyline_hadoop(
         .build()?
         .run()?;
     let value = sorted_points(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// The partition filter: keeps only partitions whose MBR is not
@@ -131,6 +133,7 @@ pub fn skyline_spatial(
         non_dominated_partitions(file).into_iter().collect();
     let pruned = file.partitions.len() - keep.len();
     let splits = SpatialFileSplitter::splits(dfs, file, |m| keep.contains(&m.id))?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let mut job = JobBuilder::new(dfs, &format!("skyline-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(LocalSkylineMapper)
@@ -141,7 +144,8 @@ pub fn skyline_spatial(
     job.counters
         .insert("skyline.partitions.pruned".into(), pruned as u64);
     let value = sorted_points(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 struct OutputSensitiveMapper;
@@ -204,6 +208,7 @@ pub fn skyline_output_sensitive(
             .with_aux(encode_points(&sky_c));
         splits.push(split);
     }
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("skyline-os:{}", file.dir))
         .input_splits(splits)
         .mapper(OutputSensitiveMapper)
@@ -211,7 +216,8 @@ pub fn skyline_output_sensitive(
         .map_only()?
         .run()?;
     let value = sorted_points(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn sorted_points(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<Point>, OpError> {

@@ -91,7 +91,8 @@ pub fn union_hadoop(
         .build()?
         .run()?;
     let value = parse_segments(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 /// SpatialHadoop polygon union over a *non-disjoint* spatial index (one
@@ -109,6 +110,7 @@ pub fn union_spatial(
         ));
     }
     let splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("union-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(LocalUnionMapper)
@@ -118,7 +120,8 @@ pub fn union_spatial(
         .build()?
         .run()?;
     let value = parse_segments(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 struct EnhancedUnionMapper;
@@ -163,6 +166,7 @@ pub fn union_enhanced(
         ));
     }
     let splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     let job = JobBuilder::new(dfs, &format!("union-enhanced:{}", file.dir))
         .input_splits(splits)
         .mapper(EnhancedUnionMapper)
@@ -170,7 +174,8 @@ pub fn union_enhanced(
         .map_only()?
         .run()?;
     let value = parse_segments(dfs, &job)?;
-    Ok(OpResult::new(value, vec![job]))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn parse_segments(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<Segment>, OpError> {

@@ -210,25 +210,23 @@ pub fn voronoi_hadoop(
     let vd = VoronoiDiagram::build(&sites);
     let merge_seconds = t0.elapsed().as_secs_f64();
     let cfg = dfs.config();
-    let merge_phase = JobOutcome {
-        name: "voronoi-hadoop:driver-merge".into(),
-        output: out_dir.into(),
-        counters: std::collections::BTreeMap::from([(
-            "voronoi.merge.bytes".to_string(),
-            transferred,
-        )]),
-        sim: SimBreakdown {
+    let merge_phase = JobOutcome::synthetic(
+        "voronoi-hadoop:driver-merge",
+        out_dir,
+        std::collections::BTreeMap::from([("voronoi.merge.bytes".to_string(), transferred)]),
+        SimBreakdown {
             startup: 0.0,
             map: 0.0,
             shuffle: transferred as f64 / cfg.network_bandwidth,
             reduce: merge_seconds,
         },
-        wall: t0.elapsed(),
-        map_tasks: 0,
-        reduce_tasks: 1,
-    };
-    let value = vd.cells.iter().map(VCell::from_cell).collect();
-    Ok(OpResult::new(value, vec![job, merge_phase]))
+        t0.elapsed(),
+        0,
+        1,
+    );
+    let value: Vec<VCell> = vd.cells.iter().map(VCell::from_cell).collect();
+    let sel = sh_trace::Selectivity::full_scan(job.map_tasks, value.len() as u64);
+    Ok(OpResult::new(value, vec![job, merge_phase]).with_selectivity(sel))
 }
 
 // ----------------------------------------------------------- spatialhadoop
@@ -382,6 +380,7 @@ pub fn voronoi_spatial(
     // merge, which the same exactness argument covers.
     let aligned = columns_are_aligned(file);
     let mut splits = SpatialFileSplitter::all_splits(dfs, file)?;
+    let mut sel = crate::mrlayer::splitter_selectivity(file, &splits);
     if aligned {
         for s in &mut splits {
             s.aux = Some("aligned".into());
@@ -435,23 +434,23 @@ pub fn voronoi_spatial(
             }
         }
         let cfg = dfs.config();
-        h_outcome = Some(JobOutcome {
-            name: "voronoi-spatial:h-merge".into(),
-            output: out_dir.into(),
-            counters: std::collections::BTreeMap::from([
+        h_outcome = Some(JobOutcome::synthetic(
+            "voronoi-spatial:h-merge",
+            out_dir,
+            std::collections::BTreeMap::from([
                 ("voronoi.hmerge.bytes".to_string(), transferred),
                 ("voronoi.flushed.hmerge".to_string(), h_cells.len() as u64),
             ]),
-            sim: SimBreakdown {
+            SimBreakdown {
                 startup: 0.0,
                 map: 0.0,
                 shuffle: transferred as f64 / cfg.network_bandwidth,
                 reduce: t0.elapsed().as_secs_f64(),
             },
-            wall: t0.elapsed(),
-            map_tasks: 0,
-            reduce_tasks: 1,
-        });
+            t0.elapsed(),
+            0,
+            1,
+        ));
     }
 
     let mut value: Vec<VCell> = job
@@ -462,7 +461,8 @@ pub fn voronoi_spatial(
     value.extend(h_cells);
     let mut jobs = vec![job];
     jobs.extend(h_outcome);
-    Ok(OpResult::new(value, jobs))
+    sel.records_emitted = value.len() as u64;
+    Ok(OpResult::new(value, jobs).with_selectivity(sel))
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@ use sh_geom::{Point, Record, Rect};
 use sh_index::sampler::{reservoir_sample, sample_size};
 use sh_index::{GlobalPartitioning, PartitionKind, PartitionMeta};
 use sh_mapreduce::{InputSplit, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
+use sh_trace::Span;
 
 use crate::catalog::SpatialFile;
 use crate::opresult::{OpError, OpResult};
@@ -142,10 +143,13 @@ pub fn build_index<R: Record>(
     index_dir: &str,
     kind: PartitionKind,
 ) -> Result<OpResult<SpatialFile>, OpError> {
+    let root = Span::root(format!("index-build:{heap}"));
+    root.attr("technique", kind.name());
     let stat = dfs.stat(heap)?;
     let target_partitions = (stat.len.div_ceil(dfs.config().block_size)).max(1) as usize;
 
     // Phase 1: sample job.
+    let sample_span = root.child("sample");
     let num_splits = stat.num_blocks.max(1);
     let want_sample = sample_size(stat.len / 16, 0.01); // records ≈ bytes/16
     let sample_job = JobBuilder::new(dfs, &format!("sample:{heap}"))
@@ -175,18 +179,24 @@ pub fn build_index<R: Record>(
         }
     }
     delete_dir(dfs, &format!("{index_dir}/_sample"));
+    sample_span.attr("points", sample.len());
+    sample_span.finish();
+    sh_trace::global().counter_add("index.sample.points", sample.len() as u64);
     if universe.is_empty() {
         return Err(OpError::Unsupported(format!("{heap}: empty input file")));
     }
 
     // Phase 2: boundaries on the driver.
+    let boundaries_span = root.child("boundaries");
     let gp = Arc::new(GlobalPartitioning::build(
         kind,
         &sample,
         universe,
         target_partitions,
     ));
-    partition_phase::<R>(dfs, heap, index_dir, gp, vec![sample_job])
+    boundaries_span.attr("cells", gp.len());
+    boundaries_span.finish();
+    partition_phase::<R>(dfs, heap, index_dir, gp, vec![sample_job], Some(root))
 }
 
 /// Indexes a heap file with an *existing* partitioning — co-partitioning
@@ -198,7 +208,7 @@ pub fn build_index_with<R: Record>(
     index_dir: &str,
     gp: Arc<GlobalPartitioning>,
 ) -> Result<OpResult<SpatialFile>, OpError> {
-    partition_phase::<R>(dfs, heap, index_dir, gp, Vec::new())
+    partition_phase::<R>(dfs, heap, index_dir, gp, Vec::new(), None)
 }
 
 fn partition_phase<R: Record>(
@@ -207,13 +217,17 @@ fn partition_phase<R: Record>(
     index_dir: &str,
     gp: Arc<GlobalPartitioning>,
     mut jobs: Vec<sh_mapreduce::JobOutcome>,
+    root: Option<Span>,
 ) -> Result<OpResult<SpatialFile>, OpError> {
     let kind = gp.kind();
     let universe = gp.universe();
+    let root = root.unwrap_or_else(|| Span::root(format!("index-build:{heap}")));
 
-    // Phase 3: partition job.
+    // Phase 3: the partition job assigns every record to its cell(s) and
+    // the reducers build the local per-partition files.
+    let assign_span = root.child("assign+local-build");
     let reducers = gp.len().min(dfs.config().total_reduce_slots()).max(1);
-    let partition_job = JobBuilder::new(dfs, &format!("partition:{heap}:{}", kind.name()))
+    let mut partition_job = JobBuilder::new(dfs, &format!("partition:{heap}:{}", kind.name()))
         .input_file(heap)?
         .mapper(PartitionMapper::<R> {
             gp: gp.clone(),
@@ -224,6 +238,8 @@ fn partition_phase<R: Record>(
         .output(index_dir)
         .build()?
         .run()?;
+    assign_span.attr("reducers", reducers);
+    assign_span.finish();
 
     // Assemble and persist the catalogue.
     let meta_text = dfs.read_to_string(&format!("{index_dir}/_partmeta"))?;
@@ -245,6 +261,32 @@ fn partition_phase<R: Record>(
         });
     }
     partitions.sort_by_key(|p| p.id);
+
+    // Report the build into the global registry and graft the engine's
+    // per-job span trees under the matching build phase, so the
+    // partition job's profile carries the full index-build trace.
+    let g = sh_trace::global();
+    g.counter_add("index.builds", 1);
+    g.counter_add("index.partitions", partitions.len() as u64);
+    g.counter_add("index.records", partitions.iter().map(|p| p.records).sum());
+    g.counter_add("index.bytes", partitions.iter().map(|p| p.bytes).sum());
+    for p in &partitions {
+        g.observe("index.partition.bytes", p.bytes);
+    }
+    root.finish();
+    let mut trace = root.record();
+    for phase in trace.children.iter_mut() {
+        let grafted = match phase.name.as_str() {
+            "sample" => jobs.first().and_then(|j| j.profile.spans.clone()),
+            "assign+local-build" => partition_job.profile.spans.clone(),
+            _ => None,
+        };
+        if let Some(spans) = grafted {
+            phase.children.push(spans);
+        }
+    }
+    partition_job.profile.spans = Some(trace);
+
     let file = SpatialFile {
         dir: index_dir.to_string(),
         kind,

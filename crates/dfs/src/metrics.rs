@@ -1,4 +1,9 @@
 //! Byte-level I/O accounting.
+//!
+//! Besides the per-instance [`DfsMetrics`] snapshots, every read and write
+//! is forwarded to the process-wide [`sh_trace`] registry under `dfs.*`
+//! keys, so profiles and registry dumps see DFS traffic without holding a
+//! reference to the `Dfs` that produced it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -30,17 +35,26 @@ pub struct MetricsSnapshot {
 
 impl DfsMetrics {
     pub(crate) fn record_read(&self, bytes: u64, local: bool) {
+        let registry = sh_trace::global();
         if local {
             self.local_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            registry.counter_add("dfs.bytes.read.local", bytes);
         } else {
             self.remote_bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            registry.counter_add("dfs.bytes.read.remote", bytes);
         }
         self.blocks_read.fetch_add(1, Ordering::Relaxed);
+        registry.counter_add("dfs.blocks.read", 1);
+        registry.observe("dfs.block.read.bytes", bytes);
     }
 
     pub(crate) fn record_write(&self, bytes: u64) {
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
         self.blocks_written.fetch_add(1, Ordering::Relaxed);
+        let registry = sh_trace::global();
+        registry.counter_add("dfs.bytes.written", bytes);
+        registry.counter_add("dfs.blocks.written", 1);
+        registry.observe("dfs.block.write.bytes", bytes);
     }
 
     /// Copies the current counter values.
@@ -62,13 +76,19 @@ impl MetricsSnapshot {
     }
 
     /// Counter-wise difference `self - earlier` (for measuring one job).
+    /// Saturating: comparing snapshots from different `Dfs` instances (or
+    /// out of order) yields zeros instead of a wrap-around panic.
     pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
-            local_bytes_read: self.local_bytes_read - earlier.local_bytes_read,
-            remote_bytes_read: self.remote_bytes_read - earlier.remote_bytes_read,
-            bytes_written: self.bytes_written - earlier.bytes_written,
-            blocks_read: self.blocks_read - earlier.blocks_read,
-            blocks_written: self.blocks_written - earlier.blocks_written,
+            local_bytes_read: self
+                .local_bytes_read
+                .saturating_sub(earlier.local_bytes_read),
+            remote_bytes_read: self
+                .remote_bytes_read
+                .saturating_sub(earlier.remote_bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
+            blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
         }
     }
 }
@@ -102,5 +122,30 @@ mod tests {
         assert_eq!(delta.local_bytes_read, 0);
         assert_eq!(delta.remote_bytes_read, 25);
         assert_eq!(delta.blocks_read, 1);
+    }
+
+    #[test]
+    fn since_saturates_instead_of_panicking() {
+        let fresh = DfsMetrics::default().snapshot();
+        let mut busy = MetricsSnapshot::default();
+        busy.local_bytes_read = 500;
+        busy.blocks_read = 3;
+        // "Earlier" snapshot from a busier instance: must clamp to zero.
+        let delta = fresh.since(&busy);
+        assert_eq!(delta, MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn reads_and_writes_reach_the_global_registry() {
+        let before = sh_trace::global().snapshot();
+        let m = DfsMetrics::default();
+        m.record_read(64, true);
+        m.record_read(32, false);
+        m.record_write(16);
+        let delta = sh_trace::global().snapshot().since(&before);
+        assert!(delta.counter("dfs.bytes.read.local") >= 64);
+        assert!(delta.counter("dfs.bytes.read.remote") >= 32);
+        assert!(delta.counter("dfs.bytes.written") >= 16);
+        assert!(delta.counter("dfs.blocks.read") >= 2);
     }
 }

@@ -225,6 +225,8 @@ impl Dfs {
         if node < inner.alive.len() {
             inner.alive[node] = false;
         }
+        let alive = inner.alive.iter().filter(|&&a| a).count();
+        sh_trace::global().gauge_set("dfs.nodes.alive", alive as i64);
     }
 
     /// Revives a datanode.
@@ -233,6 +235,8 @@ impl Dfs {
         if node < inner.alive.len() {
             inner.alive[node] = true;
         }
+        let alive = inner.alive.iter().filter(|&&a| a).count();
+        sh_trace::global().gauge_set("dfs.nodes.alive", alive as i64);
     }
 
     /// Restores the replication factor of every block that lost replicas

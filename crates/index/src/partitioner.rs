@@ -427,7 +427,11 @@ mod tests {
             }
         }
         // Overlapping techniques must still assign exactly one partition.
-        for kind in [PartitionKind::Str, PartitionKind::ZCurve, PartitionKind::Hilbert] {
+        for kind in [
+            PartitionKind::Str,
+            PartitionKind::ZCurve,
+            PartitionKind::Hilbert,
+        ] {
             let gp = GlobalPartitioning::build(kind, &dup, uni, 9);
             for p in [Point::new(0.0, 0.0), Point::new(99.0, 99.0)] {
                 assert_eq!(gp.assign(&p.to_rect()).len(), 1, "{}", kind.name());

@@ -1,5 +1,6 @@
 //! Job counters (Hadoop-style named accumulators).
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
@@ -11,9 +12,14 @@ use parking_lot::Mutex;
 /// through the task contexts (e.g. the operations layer counts pruned
 /// partitions and early-flushed results — the quantities several of the
 /// paper's figures plot).
+///
+/// Keys are interned as `Cow<'static, str>`: the engine's built-in
+/// counters use [`Counters::inc_static`] and never allocate, and dynamic
+/// names only allocate on first touch — every subsequent increment hits
+/// the existing entry in place.
 #[derive(Debug, Default)]
 pub struct Counters {
-    inner: Mutex<BTreeMap<String, u64>>,
+    inner: Mutex<BTreeMap<Cow<'static, str>, u64>>,
 }
 
 impl Counters {
@@ -22,10 +28,26 @@ impl Counters {
         Counters::default()
     }
 
-    /// Adds `delta` to the named counter.
+    /// Adds `delta` to the named counter. Allocates only the first time a
+    /// name is seen.
     pub fn inc(&self, name: &str, delta: u64) {
         let mut map = self.inner.lock();
-        *map.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(v) = map.get_mut(name) {
+            *v += delta;
+        } else {
+            map.insert(Cow::Owned(name.to_string()), delta);
+        }
+    }
+
+    /// Allocation-free increment for static names — the engine's own
+    /// `map.*` / `shuffle.*` / `reduce.*` / `output.*` counters.
+    pub fn inc_static(&self, name: &'static str, delta: u64) {
+        let mut map = self.inner.lock();
+        if let Some(v) = map.get_mut(name) {
+            *v += delta;
+        } else {
+            map.insert(Cow::Borrowed(name), delta);
+        }
     }
 
     /// Current value (0 when never incremented).
@@ -37,13 +59,21 @@ impl Counters {
     pub fn merge(&self, other: &BTreeMap<String, u64>) {
         let mut map = self.inner.lock();
         for (k, v) in other {
-            *map.entry(k.clone()).or_insert(0) += v;
+            if let Some(slot) = map.get_mut(k.as_str()) {
+                *slot += v;
+            } else {
+                map.insert(Cow::Owned(k.clone()), *v);
+            }
         }
     }
 
     /// Copies all counters.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.inner.lock().clone()
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, &v)| (k.clone().into_owned(), v))
+            .collect()
     }
 }
 
@@ -74,5 +104,15 @@ mod tests {
         c.merge(&other);
         assert_eq!(c.get("a"), 5);
         assert_eq!(c.get("c"), 2);
+    }
+
+    #[test]
+    fn static_and_dynamic_names_share_one_namespace() {
+        let c = Counters::new();
+        c.inc_static("map.tasks", 4);
+        c.inc("map.tasks", 2); // dynamic spelling of the same key
+        c.inc_static("map.tasks", 1);
+        assert_eq!(c.get("map.tasks"), 7);
+        assert_eq!(c.snapshot()["map.tasks"], 7);
     }
 }

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use sh_dfs::{Dfs, DfsError};
+use sh_trace::{Histogram, JobProfile, PhaseProfile, Span};
 
 use crate::context::{MapContext, ReduceContext};
 use crate::cost::{makespan, shuffle_time, SimBreakdown, TaskCost};
@@ -31,12 +32,57 @@ pub struct JobOutcome {
     pub map_tasks: usize,
     /// Number of reduce tasks executed.
     pub reduce_tasks: usize,
+    /// Full observability profile of the run: phase timings, per-task
+    /// duration histograms, DFS/shuffle traffic, span tree. The ops layer
+    /// fills in `profile.selectivity` after the run.
+    pub profile: JobProfile,
 }
 
 impl JobOutcome {
     /// Reads every line of every output part file, in part order.
     pub fn read_output(&self, dfs: &Dfs) -> Result<Vec<String>, DfsError> {
         read_output_dir(dfs, &self.output)
+    }
+
+    /// Builds an outcome for driver-side phases that run outside the
+    /// engine (e.g. a single-machine merge after a MapReduce round). The
+    /// profile is synthesized from the supplied aggregates so downstream
+    /// profile consumers see these phases too.
+    pub fn synthetic(
+        name: impl Into<String>,
+        output: impl Into<String>,
+        counters: BTreeMap<String, u64>,
+        sim: SimBreakdown,
+        wall: Duration,
+        map_tasks: usize,
+        reduce_tasks: usize,
+    ) -> JobOutcome {
+        let name = name.into();
+        let mut profile = JobProfile::new(&name);
+        profile.wall = wall;
+        profile.sim_seconds = sim.total();
+        for (phase, seconds, tasks) in [
+            ("startup", sim.startup, 0),
+            ("map", sim.map, map_tasks as u64),
+            ("shuffle", sim.shuffle, 0),
+            ("reduce", sim.reduce, reduce_tasks as u64),
+        ] {
+            let mut p = PhaseProfile::new(phase);
+            p.sim_seconds = seconds;
+            p.tasks = tasks;
+            profile.phases.push(p);
+        }
+        profile.counters = counters.clone();
+        JobOutcome {
+            name,
+            output: output.into(),
+            counters,
+            sim,
+            wall,
+            map_tasks,
+            reduce_tasks,
+            profile,
+        }
     }
 }
 
@@ -68,6 +114,12 @@ where
     let dfs = job.dfs.clone();
     let cfg = dfs.config().clone();
     let counters = Counters::new();
+    let span = Span::root(format!("job:{}", job.name));
+    span.attr("splits", job.splits.len());
+    span.attr(
+        "reducers",
+        job.reducer.as_ref().map(|_| job.num_reducers).unwrap_or(0),
+    );
 
     // Hadoop semantics: refuse to run into a non-empty output directory
     // (prevents part files from different jobs from mixing).
@@ -83,6 +135,10 @@ where
 
     // ---- map phase ----------------------------------------------------
     let n_tasks = job.splits.len();
+    let map_span = span.child("map-wave");
+    map_span.attr("tasks", n_tasks);
+    let map_task_micros: Mutex<Histogram> = Mutex::new(Histogram::new());
+    #[allow(clippy::type_complexity)]
     let results: Mutex<Vec<Option<MapTaskResult<M::K, M::V>>>> =
         Mutex::new((0..n_tasks).map(|_| None).collect());
     let next = AtomicUsize::new(0);
@@ -99,11 +155,17 @@ where
                 if i >= n_tasks {
                     break;
                 }
+                let task_span = map_span.child(format!("map-{i}"));
+                task_span.attr("node", assignments[i]);
                 // Hadoop semantics: a panicking task fails the job, not
                 // the process.
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     run_map_task(&job, i, assignments[i])
                 }));
+                task_span.finish();
+                map_task_micros
+                    .lock()
+                    .observe(task_span.elapsed().as_micros() as u64);
                 match attempt {
                     Ok(Ok(res)) => {
                         results.lock()[i] = Some(res);
@@ -113,11 +175,10 @@ where
                         break;
                     }
                     Err(panic) => {
-                        *failure.lock() =
-                            Some(JobError::TaskFailed(format!(
-                                "map task {i}: {}",
-                                panic_message(&panic)
-                            )));
+                        *failure.lock() = Some(JobError::TaskFailed(format!(
+                            "map task {i}: {}",
+                            panic_message(&panic)
+                        )));
                         break;
                     }
                 }
@@ -125,6 +186,7 @@ where
         }
     })
     .expect("map worker thread infrastructure failed");
+    map_span.finish();
     if let Some(e) = failure.into_inner() {
         return Err(e);
     }
@@ -160,13 +222,13 @@ where
             w.close();
             let bytes: u64 = res.output.iter().map(|l| l.len() as u64 + 1).sum();
             res.cost.output_bytes += bytes;
-            counters.inc("output.map.bytes", bytes);
+            counters.inc_static("output.map.bytes", bytes);
         }
         counters.merge(&res.counters);
-        counters.inc("map.input.bytes.local", res.cost.local_bytes);
-        counters.inc("map.input.bytes.remote", res.cost.remote_bytes);
+        counters.inc_static("map.input.bytes.local", res.cost.local_bytes);
+        counters.inc_static("map.input.bytes.remote", res.cost.remote_bytes);
     }
-    counters.inc("map.tasks", n_tasks as u64);
+    counters.inc_static("map.tasks", n_tasks as u64);
 
     let map_costs: Vec<TaskCost> = map_results.iter().map(|r| r.cost).collect();
     let map_makespan = makespan(&map_costs, &cfg, cfg.map_slots_per_node);
@@ -180,7 +242,11 @@ where
     };
 
     let mut reduce_tasks_run = 0usize;
+    let mut shuffle_pairs_total = 0u64;
+    let mut shuffle_bytes_total = 0u64;
+    let reduce_task_micros: Mutex<Histogram> = Mutex::new(Histogram::new());
     if let Some(reducer) = &job.reducer {
+        let shuffle_span = span.child("shuffle");
         let r = job.num_reducers;
         let mut buckets: Vec<Vec<(M::K, M::V)>> = (0..r).map(|_| Vec::new()).collect();
         let mut shuffle_bytes = 0u64;
@@ -193,11 +259,18 @@ where
                 buckets[b].push((k, v));
             }
         }
-        counters.inc("shuffle.pairs", shuffle_pairs);
-        counters.inc("shuffle.bytes", shuffle_bytes);
+        counters.inc_static("shuffle.pairs", shuffle_pairs);
+        counters.inc_static("shuffle.bytes", shuffle_bytes);
+        shuffle_pairs_total = shuffle_pairs;
+        shuffle_bytes_total = shuffle_bytes;
         sim.shuffle = shuffle_time(shuffle_bytes, &cfg);
+        shuffle_span.attr("pairs", shuffle_pairs);
+        shuffle_span.attr("bytes", shuffle_bytes);
+        shuffle_span.finish();
 
         // ---- reduce phase ---------------------------------------------
+        let reduce_span = span.child("reduce-wave");
+        reduce_span.attr("tasks", r);
         let reduce_results: Mutex<Vec<Option<ReduceTaskResult>>> =
             Mutex::new((0..r).map(|_| None).collect());
         let next_r = AtomicUsize::new(0);
@@ -210,9 +283,14 @@ where
                     if i >= r {
                         break;
                     }
+                    let task_span = reduce_span.child(format!("reduce-{i}"));
                     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         run_reduce_task::<M, R>(reducer, &buckets_ref[i], i, &cfg)
                     }));
+                    task_span.finish();
+                    reduce_task_micros
+                        .lock()
+                        .observe(task_span.elapsed().as_micros() as u64);
                     match attempt {
                         Ok(res) => {
                             reduce_results.lock()[i] = Some(res);
@@ -229,6 +307,7 @@ where
             }
         })
         .expect("reduce worker thread infrastructure failed");
+        reduce_span.finish();
         if let Some(e) = reduce_failure.into_inner() {
             return Err(e);
         }
@@ -250,14 +329,14 @@ where
                 w.close();
                 let bytes: u64 = output.iter().map(|l| l.len() as u64 + 1).sum();
                 cost.output_bytes += bytes;
-                counters.inc("output.reduce.bytes", bytes);
+                counters.inc_static("output.reduce.bytes", bytes);
             }
             counters.merge(&task_counters);
             reduce_costs.push(cost);
             reduce_tasks_run += 1;
         }
         sim.reduce = makespan(&reduce_costs, &cfg, cfg.reduce_slots_per_node);
-        counters.inc("reduce.tasks", reduce_tasks_run as u64);
+        counters.inc_static("reduce.tasks", reduce_tasks_run as u64);
     }
 
     // Side files are written last so reduce-side side outputs are merged
@@ -269,21 +348,94 @@ where
             w.write_line(line);
         }
         w.close();
-        counters.inc(
+        counters.inc_static(
             "output.side.bytes",
             lines.iter().map(|l| l.len() as u64 + 1).sum(),
         );
     }
 
+    span.finish();
+    let counters = counters.snapshot();
+    let profile = build_profile(
+        &job.name,
+        start.elapsed(),
+        &sim,
+        &counters,
+        &map_costs,
+        n_tasks,
+        reduce_tasks_run,
+        map_task_micros.into_inner(),
+        reduce_task_micros.into_inner(),
+        shuffle_pairs_total,
+        shuffle_bytes_total,
+        span.record(),
+    );
+
     Ok(JobOutcome {
         name: job.name,
         output: job.output,
-        counters: counters.snapshot(),
+        counters,
         sim,
         wall: start.elapsed(),
         map_tasks: n_tasks,
         reduce_tasks: reduce_tasks_run,
+        profile,
     })
+}
+
+/// Assembles the job's [`JobProfile`] and rolls process-lifetime totals
+/// into the global trace registry (`job.*` keys).
+#[allow(clippy::too_many_arguments)]
+fn build_profile(
+    name: &str,
+    wall: Duration,
+    sim: &SimBreakdown,
+    counters: &BTreeMap<String, u64>,
+    map_costs: &[TaskCost],
+    map_tasks: usize,
+    reduce_tasks: usize,
+    map_task_micros: Histogram,
+    reduce_task_micros: Histogram,
+    shuffle_pairs: u64,
+    shuffle_bytes: u64,
+    spans: sh_trace::SpanRecord,
+) -> JobProfile {
+    let registry = sh_trace::global();
+    registry.counter_add("job.completed", 1);
+    registry.counter_add("job.map.tasks", map_tasks as u64);
+    registry.counter_add("job.reduce.tasks", reduce_tasks as u64);
+    registry.counter_add("job.shuffle.pairs", shuffle_pairs);
+    registry.counter_add("job.shuffle.bytes", shuffle_bytes);
+    registry.observe("job.wall.micros", wall.as_micros() as u64);
+    registry.observe_histogram("job.map.task.micros", &map_task_micros);
+    registry.observe_histogram("job.reduce.task.micros", &reduce_task_micros);
+
+    let mut profile = JobProfile::new(name);
+    profile.wall = wall;
+    profile.sim_seconds = sim.total();
+    let mut startup = PhaseProfile::new("startup");
+    startup.sim_seconds = sim.startup;
+    let mut map = PhaseProfile::new("map");
+    map.sim_seconds = sim.map;
+    map.tasks = map_tasks as u64;
+    map.task_micros = map_task_micros;
+    let mut shuffle = PhaseProfile::new("shuffle");
+    shuffle.sim_seconds = sim.shuffle;
+    let mut reduce = PhaseProfile::new("reduce");
+    reduce.sim_seconds = sim.reduce;
+    reduce.tasks = reduce_tasks as u64;
+    reduce.task_micros = reduce_task_micros;
+    profile.phases = vec![startup, map, shuffle, reduce];
+    profile.dfs_local_bytes = map_costs.iter().map(|c| c.local_bytes).sum();
+    profile.dfs_remote_bytes = map_costs.iter().map(|c| c.remote_bytes).sum();
+    profile.dfs_bytes_written = counters.get("output.map.bytes").copied().unwrap_or(0)
+        + counters.get("output.reduce.bytes").copied().unwrap_or(0)
+        + counters.get("output.side.bytes").copied().unwrap_or(0);
+    profile.shuffle_pairs = shuffle_pairs;
+    profile.shuffle_bytes = shuffle_bytes;
+    profile.counters = counters.clone();
+    profile.spans = Some(spans);
+    profile
 }
 
 /// Locality-aware greedy assignment of splits to nodes: each split goes
@@ -627,8 +779,7 @@ mod tests {
         // A full scan reads every input byte exactly once (local +
         // remote partition of the same total).
         assert_eq!(
-            outcome.counters["map.input.bytes.local"]
-                + outcome.counters["map.input.bytes.remote"],
+            outcome.counters["map.input.bytes.local"] + outcome.counters["map.input.bytes.remote"],
             file_len
         );
         // Shuffle pairs equal total tokens (2 per line).
@@ -894,6 +1045,49 @@ mod tests {
         };
         run("/dup").unwrap();
         assert!(matches!(run("/dup"), Err(JobError::Config(_))));
+    }
+
+    #[test]
+    fn outcome_carries_a_complete_profile() {
+        let fs = dfs();
+        wordcount_input(&fs, 5000);
+        let outcome = JobBuilder::new(&fs, "profiled")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 3)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let p = &outcome.profile;
+        assert_eq!(p.job, "profiled");
+        assert!(p.sim_seconds > 0.0);
+        let map = p.phase("map").unwrap();
+        assert_eq!(map.tasks, outcome.map_tasks as u64);
+        assert_eq!(map.task_micros.count(), outcome.map_tasks as u64);
+        let reduce = p.phase("reduce").unwrap();
+        assert_eq!(reduce.tasks, 3);
+        assert_eq!(reduce.task_micros.count(), 3);
+        assert_eq!(
+            p.dfs_local_bytes + p.dfs_remote_bytes,
+            fs.stat("/in").unwrap().len
+        );
+        assert_eq!(p.shuffle_pairs, outcome.counters["shuffle.pairs"]);
+        assert!(p.dfs_bytes_written > 0);
+        assert_eq!(p.counters, outcome.counters);
+        // Span tree: root job span with map-wave/shuffle/reduce-wave
+        // children, and one span per task.
+        let spans = p.spans.as_ref().unwrap();
+        assert_eq!(spans.name, "job:profiled");
+        let wave = spans.find("map-wave").unwrap();
+        assert_eq!(wave.children.len(), outcome.map_tasks);
+        assert!(spans.find("shuffle").is_some());
+        assert_eq!(spans.find("reduce-wave").unwrap().children.len(), 3);
+        // JSON export of a real profile round-trips.
+        let back = sh_trace::JobProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(&back, p);
     }
 
     #[test]

@@ -232,6 +232,7 @@ impl<M: Mapper> JobBuilder<M> {
     }
 
     /// Finishes a map-only job (output comes from `MapContext::output`).
+    #[allow(clippy::type_complexity)]
     pub fn map_only(self) -> Result<Job<M, NoReducer<M::K, M::V>>, JobError> {
         let mapper = self
             .mapper

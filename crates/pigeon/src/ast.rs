@@ -118,6 +118,9 @@ pub enum Stmt {
     },
     /// `STORE <src> INTO '<path>';`
     Store { src: String, path: String },
+    /// `PROFILE <statement>` — run the inner statement and dump the
+    /// rendered [`JobProfile`](sh_trace::JobProfile) of the jobs it ran.
+    Profile(Box<Stmt>),
 }
 
 /// A parsed script.

@@ -5,9 +5,10 @@ use std::fmt;
 
 use sh_core::ops;
 use sh_core::storage;
-use sh_core::{OpError, SpatialFile};
+use sh_core::{OpError, OpResult, SpatialFile};
 use sh_dfs::Dfs;
 use sh_geom::{Point, Polygon, Record, Rect};
+use sh_trace::JobProfile;
 
 use crate::ast::{RecordType, Script, Stmt};
 
@@ -72,6 +73,9 @@ static OUT_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize:
 pub struct Pigeon {
     dfs: Dfs,
     vars: HashMap<String, Value>,
+    /// Aggregated profile of the most recent statement that ran jobs;
+    /// consumed by `PROFILE <statement>`.
+    last_profile: Option<JobProfile>,
 }
 
 impl Pigeon {
@@ -80,7 +84,20 @@ impl Pigeon {
         Pigeon {
             dfs: dfs.clone(),
             vars: HashMap::new(),
+            last_profile: None,
         }
+    }
+
+    /// Unwraps an operation result, stashing its aggregated profile so a
+    /// surrounding `PROFILE` statement can report it.
+    fn take<T>(&mut self, op: &str, r: OpResult<T>) -> T {
+        self.last_profile = Some(r.profile(op));
+        r.value
+    }
+
+    /// Profile of the last statement that ran jobs, if any.
+    pub fn last_profile(&self) -> Option<&JobProfile> {
+        self.last_profile.as_ref()
     }
 
     /// Looks up a bound value.
@@ -250,7 +267,8 @@ impl Pigeon {
                 let tris = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::delaunay::delaunay_spatial(&self.dfs, &file, &out)?.value
+                        let r = ops::delaunay::delaunay_spatial(&self.dfs, &file, &out)?;
+                        self.take("delaunay", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
@@ -258,7 +276,8 @@ impl Pigeon {
                             path: path.clone(),
                             rtype,
                         })?;
-                        ops::delaunay::delaunay_hadoop(&self.dfs, &path, &uni, &out)?.value
+                        let r = ops::delaunay::delaunay_hadoop(&self.dfs, &path, &uni, &out)?;
+                        self.take("delaunay", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("DELAUNAY over a result set".into()))
@@ -289,7 +308,7 @@ impl Pigeon {
                         )))
                     }
                 };
-                let file = match rtype {
+                let r = match rtype {
                     RecordType::Point => {
                         storage::build_index::<Point>(&self.dfs, &heap, path, *kind)?
                     }
@@ -299,8 +318,8 @@ impl Pigeon {
                     RecordType::Polygon => {
                         storage::build_index::<Polygon>(&self.dfs, &heap, path, *kind)?
                     }
-                }
-                .value;
+                };
+                let file = self.take("index", r);
                 self.vars
                     .insert(var.clone(), Value::Indexed { file, rtype });
             }
@@ -308,31 +327,39 @@ impl Pigeon {
                 let out = self.out_dir("range");
                 let lines = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => match rtype {
-                        RecordType::Point => to_lines(
-                            &ops::range::range_spatial::<Point>(&self.dfs, &file, query, &out)?
-                                .value,
-                        ),
-                        RecordType::Rectangle => to_lines(
-                            &ops::range::range_spatial::<Rect>(&self.dfs, &file, query, &out)?
-                                .value,
-                        ),
-                        RecordType::Polygon => to_lines(
-                            &ops::range::range_spatial::<Polygon>(&self.dfs, &file, query, &out)?
-                                .value,
-                        ),
+                        RecordType::Point => {
+                            let r =
+                                ops::range::range_spatial::<Point>(&self.dfs, &file, query, &out)?;
+                            to_lines(&self.take("range", r))
+                        }
+                        RecordType::Rectangle => {
+                            let r =
+                                ops::range::range_spatial::<Rect>(&self.dfs, &file, query, &out)?;
+                            to_lines(&self.take("range", r))
+                        }
+                        RecordType::Polygon => {
+                            let r = ops::range::range_spatial::<Polygon>(
+                                &self.dfs, &file, query, &out,
+                            )?;
+                            to_lines(&self.take("range", r))
+                        }
                     },
                     Value::Heap { path, rtype } => match rtype {
-                        RecordType::Point => to_lines(
-                            &ops::range::range_hadoop::<Point>(&self.dfs, &path, query, &out)?
-                                .value,
-                        ),
-                        RecordType::Rectangle => to_lines(
-                            &ops::range::range_hadoop::<Rect>(&self.dfs, &path, query, &out)?.value,
-                        ),
-                        RecordType::Polygon => to_lines(
-                            &ops::range::range_hadoop::<Polygon>(&self.dfs, &path, query, &out)?
-                                .value,
-                        ),
+                        RecordType::Point => {
+                            let r =
+                                ops::range::range_hadoop::<Point>(&self.dfs, &path, query, &out)?;
+                            to_lines(&self.take("range", r))
+                        }
+                        RecordType::Rectangle => {
+                            let r =
+                                ops::range::range_hadoop::<Rect>(&self.dfs, &path, query, &out)?;
+                            to_lines(&self.take("range", r))
+                        }
+                        RecordType::Polygon => {
+                            let r =
+                                ops::range::range_hadoop::<Polygon>(&self.dfs, &path, query, &out)?;
+                            to_lines(&self.take("range", r))
+                        }
                     },
                     Value::Result(_) => {
                         return Err(PigeonError::Type("FILTER over a result set".into()))
@@ -345,11 +372,13 @@ impl Pigeon {
                 let pts = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::knn::knn_spatial(&self.dfs, &file, q, *k, &out)?.value
+                        let r = ops::knn::knn_spatial(&self.dfs, &file, q, *k, &out)?;
+                        self.take("knn", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::knn::knn_hadoop(&self.dfs, &path, q, *k, &out)?.value
+                        let r = ops::knn::knn_hadoop(&self.dfs, &path, q, *k, &out)?;
+                        self.take("knn", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("KNN over a result set".into()))
@@ -374,7 +403,8 @@ impl Pigeon {
                     ) => {
                         expect_rects(left, ta)?;
                         expect_rects(right, tb)?;
-                        ops::join::distributed_join(&self.dfs, &fa, &fb, &out)?.value
+                        let r = ops::join::distributed_join(&self.dfs, &fa, &fb, &out)?;
+                        self.take("join", r)
                     }
                     (
                         Value::Heap {
@@ -403,7 +433,8 @@ impl Pigeon {
                             }
                         }
                         drop(ua);
-                        ops::join::sjmr(&self.dfs, &pa, &pb, &uni, 16, &out)?.value
+                        let r = ops::join::sjmr(&self.dfs, &pa, &pb, &uni, 16, &out)?;
+                        self.take("join", r)
                     }
                     _ => {
                         return Err(PigeonError::Type(
@@ -438,7 +469,8 @@ impl Pigeon {
                     ) => {
                         expect_points(left, ta)?;
                         expect_points(right, tb)?;
-                        ops::knn_join::knn_join_spatial(&self.dfs, &fa, &fb, *k, &out)?.value
+                        let r = ops::knn_join::knn_join_spatial(&self.dfs, &fa, &fb, *k, &out)?;
+                        self.take("knnjoin", r)
                     }
                     _ => {
                         return Err(PigeonError::Type(
@@ -463,11 +495,13 @@ impl Pigeon {
                 let pts = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::skyline::skyline_spatial(&self.dfs, &file, &out)?.value
+                        let r = ops::skyline::skyline_spatial(&self.dfs, &file, &out)?;
+                        self.take("skyline", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::skyline::skyline_hadoop(&self.dfs, &path, &out)?.value
+                        let r = ops::skyline::skyline_hadoop(&self.dfs, &path, &out)?;
+                        self.take("skyline", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("SKYLINE over a result set".into()))
@@ -480,11 +514,13 @@ impl Pigeon {
                 let pts = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::convex_hull::hull_spatial(&self.dfs, &file, &out)?.value
+                        let r = ops::convex_hull::hull_spatial(&self.dfs, &file, &out)?;
+                        self.take("convexhull", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::convex_hull::hull_hadoop(&self.dfs, &path, &out)?.value
+                        let r = ops::convex_hull::hull_hadoop(&self.dfs, &path, &out)?;
+                        self.take("convexhull", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("CONVEXHULL over a result set".into()))
@@ -497,7 +533,8 @@ impl Pigeon {
                 let pair = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::closest_pair::closest_pair_spatial(&self.dfs, &file, &out)?.value
+                        let r = ops::closest_pair::closest_pair_spatial(&self.dfs, &file, &out)?;
+                        self.take("closestpair", r)
                     }
                     _ => {
                         return Err(PigeonError::Type(
@@ -522,11 +559,13 @@ impl Pigeon {
                 let pair = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::farthest_pair::farthest_pair_spatial(&self.dfs, &file, &out)?.value
+                        let r = ops::farthest_pair::farthest_pair_spatial(&self.dfs, &file, &out)?;
+                        self.take("farthestpair", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::farthest_pair::farthest_pair_hadoop(&self.dfs, &path, &out)?.value
+                        let r = ops::farthest_pair::farthest_pair_hadoop(&self.dfs, &path, &out)?;
+                        self.take("farthestpair", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("FARTHESTPAIR over a result set".into()))
@@ -554,9 +593,11 @@ impl Pigeon {
                             )));
                         }
                         if file.is_disjoint() {
-                            ops::union::union_enhanced(&self.dfs, &file, &out)?.value
+                            let r = ops::union::union_enhanced(&self.dfs, &file, &out)?;
+                            self.take("union", r)
                         } else {
-                            ops::union::union_spatial(&self.dfs, &file, &out)?.value
+                            let r = ops::union::union_spatial(&self.dfs, &file, &out)?;
+                            self.take("union", r)
                         }
                     }
                     Value::Heap { path, rtype } => {
@@ -565,7 +606,8 @@ impl Pigeon {
                                 "UNION expects polygons, {src} is not"
                             )));
                         }
-                        ops::union::union_hadoop(&self.dfs, &path, &out)?.value
+                        let r = ops::union::union_hadoop(&self.dfs, &path, &out)?;
+                        self.take("union", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("UNION over a result set".into()))
@@ -579,7 +621,8 @@ impl Pigeon {
                 let cells = match self.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
-                        ops::voronoi::voronoi_spatial(&self.dfs, &file, &out)?.value
+                        let r = ops::voronoi::voronoi_spatial(&self.dfs, &file, &out)?;
+                        self.take("voronoi", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
@@ -587,7 +630,8 @@ impl Pigeon {
                             path: path.clone(),
                             rtype,
                         })?;
-                        ops::voronoi::voronoi_hadoop(&self.dfs, &path, &uni, &out)?.value
+                        let r = ops::voronoi::voronoi_hadoop(&self.dfs, &path, &uni, &out)?;
+                        self.take("voronoi", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("VORONOI over a result set".into()))
@@ -611,18 +655,18 @@ impl Pigeon {
                     Value::Indexed { file, .. } => ops::aggregate::stats_spatial(&file),
                     Value::Heap { path, rtype } => {
                         let out = self.out_dir("describe");
-                        match rtype {
+                        let r = match rtype {
                             RecordType::Point => {
-                                ops::aggregate::stats_hadoop::<Point>(&self.dfs, &path, &out)?.value
+                                ops::aggregate::stats_hadoop::<Point>(&self.dfs, &path, &out)?
                             }
                             RecordType::Rectangle => {
-                                ops::aggregate::stats_hadoop::<Rect>(&self.dfs, &path, &out)?.value
+                                ops::aggregate::stats_hadoop::<Rect>(&self.dfs, &path, &out)?
                             }
                             RecordType::Polygon => {
                                 ops::aggregate::stats_hadoop::<Polygon>(&self.dfs, &path, &out)?
-                                    .value
                             }
-                        }
+                        };
+                        self.take("describe", r)
                     }
                     Value::Result(lines) => {
                         dumped.push(format!("result set: {} rows", lines.len()));
@@ -649,7 +693,7 @@ impl Pigeon {
                     Value::Indexed { file, rtype } => (file, rtype),
                     _ => return Err(PigeonError::Type("PLOT requires an indexed dataset".into())),
                 };
-                match rtype {
+                let r = match rtype {
                     RecordType::Point => {
                         ops::plot::plot_spatial::<Point>(&self.dfs, &file, *width, *height, path)?
                     }
@@ -660,6 +704,7 @@ impl Pigeon {
                         ops::plot::plot_spatial::<Polygon>(&self.dfs, &file, *width, *height, path)?
                     }
                 };
+                self.take("plot", r);
             }
             Stmt::PlotPyramid {
                 src,
@@ -675,17 +720,18 @@ impl Pigeon {
                         ))
                     }
                 };
-                match rtype {
-                    RecordType::Point => ops::plot::plot_pyramid::<Point>(
-                        &self.dfs, &file, *levels, *tile_px, path,
-                    )?,
-                    RecordType::Rectangle => ops::plot::plot_pyramid::<Rect>(
-                        &self.dfs, &file, *levels, *tile_px, path,
-                    )?,
+                let r = match rtype {
+                    RecordType::Point => {
+                        ops::plot::plot_pyramid::<Point>(&self.dfs, &file, *levels, *tile_px, path)?
+                    }
+                    RecordType::Rectangle => {
+                        ops::plot::plot_pyramid::<Rect>(&self.dfs, &file, *levels, *tile_px, path)?
+                    }
                     RecordType::Polygon => ops::plot::plot_pyramid::<Polygon>(
                         &self.dfs, &file, *levels, *tile_px, path,
                     )?,
                 };
+                self.take("plotpyramid", r);
             }
             Stmt::Dump { src } => match self.lookup(src)? {
                 Value::Result(lines) => dumped.extend(lines.iter().cloned()),
@@ -703,6 +749,14 @@ impl Pigeon {
                     ));
                 }
             },
+            Stmt::Profile(inner) => {
+                self.last_profile = None;
+                self.execute_stmt(inner, dumped)?;
+                match self.last_profile.take() {
+                    Some(p) => dumped.extend(p.render().lines().map(str::to_string)),
+                    None => dumped.push("profile: statement ran no jobs".to_string()),
+                }
+            }
             Stmt::Store { src, path } => {
                 let lines = match self.lookup(src)? {
                     Value::Result(lines) => lines.clone(),
@@ -844,6 +898,30 @@ mod tests {
         .unwrap();
         assert_eq!(out.len(), 2);
         let _ = pts;
+    }
+
+    #[test]
+    fn profile_statement_dumps_rendered_profile() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             PROFILE r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));",
+        )
+        .unwrap();
+        let text = out.join("\n");
+        assert!(text.contains("job profile: range"), "{text}");
+        assert!(text.contains("splitter:"), "{text}");
+        assert!(text.contains("dfs:"), "{text}");
+
+        // A statement that runs no jobs still reports something sensible.
+        let out = run_script(&dfs, "p = LOAD '/data/points' AS POINT;\nPROFILE DUMP p;").unwrap();
+        assert!(
+            out.last().unwrap().contains("ran no jobs"),
+            "{:?}",
+            out.last()
+        );
     }
 
     #[test]

@@ -108,6 +108,10 @@ impl Parser {
     fn statement(&mut self) -> Result<Stmt, PigeonError> {
         let first = self.ident()?;
         // Non-assignment statements.
+        if first.eq_ignore_ascii_case("PROFILE") {
+            // The inner statement consumes its own terminating semicolon.
+            return Ok(Stmt::Profile(Box::new(self.statement()?)));
+        }
         if first.eq_ignore_ascii_case("DUMP") {
             let src = self.ident()?;
             self.expect(&TokenKind::Semicolon)?;
@@ -351,6 +355,24 @@ mod tests {
             }
         ));
         assert!(matches!(s.stmts[2], Stmt::Delaunay { .. }));
+    }
+
+    #[test]
+    fn profile_wraps_any_statement() {
+        let s = parse(
+            "PROFILE r = FILTER i BY Overlaps(RECTANGLE(0, 0, 10, 10));\n\
+             profile DUMP r;",
+        )
+        .unwrap();
+        assert_eq!(s.stmts.len(), 2);
+        match &s.stmts[0] {
+            Stmt::Profile(inner) => assert!(matches!(**inner, Stmt::RangeFilter { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s.stmts[1] {
+            Stmt::Profile(inner) => assert!(matches!(**inner, Stmt::Dump { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

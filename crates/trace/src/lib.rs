@@ -1,0 +1,11 @@
+//! Cross-layer observability: hierarchical spans, a process-wide metrics
+//! registry, and per-job query profiles.
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod span;
+
+pub use metrics::{global, Histogram, MetricKind, MetricsRegistry, RegistrySnapshot};
+pub use profile::{format_bytes, JobProfile, PhaseProfile, Selectivity};
+pub use span::{format_duration, Span, SpanRecord, SpanTree};

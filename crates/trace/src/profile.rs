@@ -1,0 +1,646 @@
+//! Per-job query profiles: one [`JobProfile`] per executed MapReduce job,
+//! combining phase timings, DFS traffic, shuffle volume, splitter
+//! selectivity, engine counters, and the span tree. Renders as an aligned
+//! text table for humans and exports/imports hand-rolled JSON (the
+//! workspace deliberately carries no serializer crate).
+
+use crate::json::{self, Value};
+use crate::metrics::Histogram;
+use crate::span::{format_duration, SpanRecord, SpanTree};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// How much of the input the splitter and filters let through.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Selectivity {
+    /// Partitions in the indexed file (0 for heap inputs).
+    pub partitions_total: u64,
+    /// Partitions the splitter kept.
+    pub partitions_scanned: u64,
+    /// Partitions the splitter pruned via the global index.
+    pub partitions_pruned: u64,
+    /// Records read by map tasks.
+    pub records_scanned: u64,
+    /// Records that survived filtering (emitted or output).
+    pub records_emitted: u64,
+}
+
+impl Selectivity {
+    /// Selectivity of a splitter decision over an indexed file:
+    /// `scanned` of `total` partitions survived the filter function and
+    /// together hold `records_scanned` records. `records_emitted` is
+    /// left at zero for the caller to fill once the answer size is
+    /// known.
+    pub fn of_split(total: usize, scanned: usize, records_scanned: u64) -> Selectivity {
+        Selectivity {
+            partitions_total: total as u64,
+            partitions_scanned: scanned as u64,
+            partitions_pruned: total.saturating_sub(scanned) as u64,
+            records_scanned,
+            records_emitted: 0,
+        }
+    }
+
+    /// Selectivity of a full scan (heap inputs): every split is read,
+    /// nothing is pruned, and the record count is unknown (zero).
+    pub fn full_scan(splits: usize, records_emitted: u64) -> Selectivity {
+        Selectivity {
+            partitions_total: splits as u64,
+            partitions_scanned: splits as u64,
+            partitions_pruned: 0,
+            records_scanned: 0,
+            records_emitted,
+        }
+    }
+
+    /// Fraction of partitions pruned without being read, in `[0, 1]`.
+    pub fn pruning_ratio(&self) -> f64 {
+        if self.partitions_total == 0 {
+            0.0
+        } else {
+            self.partitions_pruned as f64 / self.partitions_total as f64
+        }
+    }
+}
+
+/// One engine phase (map, shuffle, reduce, or an index-build stage).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PhaseProfile {
+    pub name: String,
+    /// Simulated cluster time attributed to the phase.
+    pub sim_seconds: f64,
+    /// Tasks executed in the phase (0 for task-free phases like shuffle).
+    pub tasks: u64,
+    /// Wall-clock duration of each task, in microseconds.
+    pub task_micros: Histogram,
+}
+
+impl PhaseProfile {
+    pub fn new(name: impl Into<String>) -> PhaseProfile {
+        PhaseProfile {
+            name: name.into(),
+            ..PhaseProfile::default()
+        }
+    }
+}
+
+/// Everything observed about one executed job.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobProfile {
+    pub job: String,
+    /// Wall-clock time of the in-process run.
+    pub wall: Duration,
+    /// Simulated cluster makespan.
+    pub sim_seconds: f64,
+    pub phases: Vec<PhaseProfile>,
+    /// DFS bytes served from a replica on the reading node.
+    pub dfs_local_bytes: u64,
+    /// DFS bytes that crossed the simulated network.
+    pub dfs_remote_bytes: u64,
+    pub dfs_bytes_written: u64,
+    pub shuffle_pairs: u64,
+    pub shuffle_bytes: u64,
+    pub selectivity: Selectivity,
+    /// Engine + user counters at job completion.
+    pub counters: BTreeMap<String, u64>,
+    /// Span tree of the run, when captured.
+    pub spans: Option<SpanRecord>,
+}
+
+impl JobProfile {
+    pub fn new(job: impl Into<String>) -> JobProfile {
+        JobProfile {
+            job: job.into(),
+            ..JobProfile::default()
+        }
+    }
+
+    pub fn phase(&self, name: &str) -> Option<&PhaseProfile> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    fn phase_mut(&mut self, name: &str) -> &mut PhaseProfile {
+        if let Some(i) = self.phases.iter().position(|p| p.name == name) {
+            return &mut self.phases[i];
+        }
+        self.phases.push(PhaseProfile::new(name));
+        self.phases.last_mut().unwrap()
+    }
+
+    /// Folds another profile into this one (multi-job operations such as
+    /// iterative kNN report one combined profile). Phases merge by name;
+    /// the span tree keeps the first capture.
+    pub fn absorb(&mut self, other: &JobProfile) {
+        self.wall += other.wall;
+        self.sim_seconds += other.sim_seconds;
+        for p in &other.phases {
+            let mine = self.phase_mut(&p.name);
+            mine.sim_seconds += p.sim_seconds;
+            mine.tasks += p.tasks;
+            mine.task_micros.merge(&p.task_micros);
+        }
+        self.dfs_local_bytes += other.dfs_local_bytes;
+        self.dfs_remote_bytes += other.dfs_remote_bytes;
+        self.dfs_bytes_written += other.dfs_bytes_written;
+        self.shuffle_pairs += other.shuffle_pairs;
+        self.shuffle_bytes += other.shuffle_bytes;
+        let s = &mut self.selectivity;
+        let o = &other.selectivity;
+        s.partitions_total += o.partitions_total;
+        s.partitions_scanned += o.partitions_scanned;
+        s.partitions_pruned += o.partitions_pruned;
+        s.records_scanned += o.records_scanned;
+        s.records_emitted += o.records_emitted;
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        if self.spans.is_none() {
+            self.spans = other.spans.clone();
+        }
+    }
+
+    /// Aligned, human-readable table (plus the span tree when captured).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("job profile: {}\n", self.job));
+        out.push_str(&format!(
+            "  wall {:<10} sim {:.3}s\n",
+            format_duration(self.wall),
+            self.sim_seconds
+        ));
+        if !self.phases.is_empty() {
+            out.push_str(&format!(
+                "  {:<14} {:>9} {:>7} {:>10} {:>10} {:>10}\n",
+                "phase", "sim(s)", "tasks", "p50", "p95", "max"
+            ));
+            for p in &self.phases {
+                let h = &p.task_micros;
+                let (p50, p95, max) = if h.count() == 0 {
+                    ("-".to_string(), "-".to_string(), "-".to_string())
+                } else {
+                    (
+                        format_duration(Duration::from_micros(h.quantile(0.5))),
+                        format_duration(Duration::from_micros(h.quantile(0.95))),
+                        format_duration(Duration::from_micros(h.max())),
+                    )
+                };
+                out.push_str(&format!(
+                    "  {:<14} {:>9.3} {:>7} {:>10} {:>10} {:>10}\n",
+                    p.name, p.sim_seconds, p.tasks, p50, p95, max
+                ));
+            }
+        }
+        let sel = &self.selectivity;
+        if sel.partitions_total > 0 {
+            out.push_str(&format!(
+                "  splitter: {} scanned / {} pruned of {} partitions ({:.0}% pruned)\n",
+                sel.partitions_scanned,
+                sel.partitions_pruned,
+                sel.partitions_total,
+                100.0 * sel.pruning_ratio()
+            ));
+        }
+        if sel.records_scanned > 0 || sel.records_emitted > 0 {
+            out.push_str(&format!(
+                "  records:  {} scanned -> {} emitted\n",
+                sel.records_scanned, sel.records_emitted
+            ));
+        }
+        out.push_str(&format!(
+            "  dfs:      {} local, {} remote, {} written\n",
+            format_bytes(self.dfs_local_bytes),
+            format_bytes(self.dfs_remote_bytes),
+            format_bytes(self.dfs_bytes_written)
+        ));
+        if self.shuffle_pairs > 0 || self.shuffle_bytes > 0 {
+            out.push_str(&format!(
+                "  shuffle:  {} pairs, {}\n",
+                self.shuffle_pairs,
+                format_bytes(self.shuffle_bytes)
+            ));
+        }
+        if !self.counters.is_empty() {
+            let width = self
+                .counters
+                .keys()
+                .map(String::len)
+                .max()
+                .unwrap_or(0)
+                .max(12);
+            out.push_str("  counters:\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("    {k:<width$}  {v:>12}\n"));
+            }
+        }
+        if let Some(spans) = &self.spans {
+            out.push_str("  spans:\n");
+            for line in format!("{}", SpanTree(spans)).lines() {
+                out.push_str(&format!("    {line}\n"));
+            }
+        }
+        out
+    }
+
+    /// Compact JSON export; [`JobProfile::from_json`] inverts it exactly.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            ("job".to_string(), Value::Str(self.job.clone())),
+            (
+                "wall_nanos".to_string(),
+                Value::Int(self.wall.as_nanos() as i128),
+            ),
+            ("sim_seconds".to_string(), Value::Float(self.sim_seconds)),
+            (
+                "phases".to_string(),
+                Value::Arr(self.phases.iter().map(phase_to_value).collect()),
+            ),
+            (
+                "dfs".to_string(),
+                Value::Obj(vec![
+                    (
+                        "local_bytes".to_string(),
+                        Value::Int(self.dfs_local_bytes as i128),
+                    ),
+                    (
+                        "remote_bytes".to_string(),
+                        Value::Int(self.dfs_remote_bytes as i128),
+                    ),
+                    (
+                        "bytes_written".to_string(),
+                        Value::Int(self.dfs_bytes_written as i128),
+                    ),
+                ]),
+            ),
+            (
+                "shuffle".to_string(),
+                Value::Obj(vec![
+                    ("pairs".to_string(), Value::Int(self.shuffle_pairs as i128)),
+                    ("bytes".to_string(), Value::Int(self.shuffle_bytes as i128)),
+                ]),
+            ),
+            (
+                "selectivity".to_string(),
+                Value::Obj(vec![
+                    (
+                        "partitions_total".to_string(),
+                        Value::Int(self.selectivity.partitions_total as i128),
+                    ),
+                    (
+                        "partitions_scanned".to_string(),
+                        Value::Int(self.selectivity.partitions_scanned as i128),
+                    ),
+                    (
+                        "partitions_pruned".to_string(),
+                        Value::Int(self.selectivity.partitions_pruned as i128),
+                    ),
+                    (
+                        "records_scanned".to_string(),
+                        Value::Int(self.selectivity.records_scanned as i128),
+                    ),
+                    (
+                        "records_emitted".to_string(),
+                        Value::Int(self.selectivity.records_emitted as i128),
+                    ),
+                ]),
+            ),
+            (
+                "counters".to_string(),
+                Value::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Int(*v as i128)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(spans) = &self.spans {
+            fields.push(("spans".to_string(), span_to_value(spans)));
+        }
+        Value::Obj(fields).to_string()
+    }
+
+    /// Parses a profile previously produced by [`JobProfile::to_json`].
+    pub fn from_json(text: &str) -> Result<JobProfile, String> {
+        let v = json::parse(text)?;
+        let req_u64 = |node: &Value, key: &str| -> Result<u64, String> {
+            node.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let mut profile = JobProfile::new(
+            v.get("job")
+                .and_then(Value::as_str)
+                .ok_or("missing field 'job'")?,
+        );
+        profile.wall = Duration::from_nanos(req_u64(&v, "wall_nanos")?);
+        profile.sim_seconds = v
+            .get("sim_seconds")
+            .and_then(Value::as_f64)
+            .ok_or("missing field 'sim_seconds'")?;
+        for p in v
+            .get("phases")
+            .and_then(Value::as_arr)
+            .ok_or("missing field 'phases'")?
+        {
+            profile.phases.push(phase_from_value(p)?);
+        }
+        let dfs = v.get("dfs").ok_or("missing field 'dfs'")?;
+        profile.dfs_local_bytes = req_u64(dfs, "local_bytes")?;
+        profile.dfs_remote_bytes = req_u64(dfs, "remote_bytes")?;
+        profile.dfs_bytes_written = req_u64(dfs, "bytes_written")?;
+        let shuffle = v.get("shuffle").ok_or("missing field 'shuffle'")?;
+        profile.shuffle_pairs = req_u64(shuffle, "pairs")?;
+        profile.shuffle_bytes = req_u64(shuffle, "bytes")?;
+        let sel = v.get("selectivity").ok_or("missing field 'selectivity'")?;
+        profile.selectivity = Selectivity {
+            partitions_total: req_u64(sel, "partitions_total")?,
+            partitions_scanned: req_u64(sel, "partitions_scanned")?,
+            partitions_pruned: req_u64(sel, "partitions_pruned")?,
+            records_scanned: req_u64(sel, "records_scanned")?,
+            records_emitted: req_u64(sel, "records_emitted")?,
+        };
+        for (k, val) in v
+            .get("counters")
+            .and_then(Value::as_obj)
+            .ok_or("missing field 'counters'")?
+        {
+            profile.counters.insert(
+                k.clone(),
+                val.as_u64()
+                    .ok_or_else(|| format!("non-integer counter '{k}'"))?,
+            );
+        }
+        if let Some(spans) = v.get("spans") {
+            profile.spans = Some(span_from_value(spans)?);
+        }
+        Ok(profile)
+    }
+}
+
+fn histogram_to_value(h: &Histogram) -> Value {
+    Value::Obj(vec![
+        (
+            "buckets".to_string(),
+            Value::Arr(
+                h.nonzero_buckets()
+                    .iter()
+                    .map(|&(i, n)| Value::Arr(vec![Value::Int(i as i128), Value::Int(n as i128)]))
+                    .collect(),
+            ),
+        ),
+        ("sum".to_string(), Value::Int(h.sum() as i128)),
+        ("min".to_string(), Value::Int(h.min() as i128)),
+        ("max".to_string(), Value::Int(h.max() as i128)),
+    ])
+}
+
+fn histogram_from_value(v: &Value) -> Result<Histogram, String> {
+    let mut pairs = Vec::new();
+    for pair in v
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .ok_or("histogram missing 'buckets'")?
+    {
+        let pair = pair.as_arr().ok_or("histogram bucket must be a pair")?;
+        if pair.len() != 2 {
+            return Err("histogram bucket must be a pair".to_string());
+        }
+        pairs.push((
+            pair[0].as_usize().ok_or("bad bucket index")?,
+            pair[1].as_u64().ok_or("bad bucket count")?,
+        ));
+    }
+    let field = |key: &str| -> Result<u64, String> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("histogram missing '{key}'"))
+    };
+    Ok(Histogram::from_parts(
+        &pairs,
+        field("sum")?,
+        field("min")?,
+        field("max")?,
+    ))
+}
+
+fn phase_to_value(p: &PhaseProfile) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), Value::Str(p.name.clone())),
+        ("sim_seconds".to_string(), Value::Float(p.sim_seconds)),
+        ("tasks".to_string(), Value::Int(p.tasks as i128)),
+        (
+            "task_micros".to_string(),
+            histogram_to_value(&p.task_micros),
+        ),
+    ])
+}
+
+fn phase_from_value(v: &Value) -> Result<PhaseProfile, String> {
+    Ok(PhaseProfile {
+        name: v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("phase missing 'name'")?
+            .to_string(),
+        sim_seconds: v
+            .get("sim_seconds")
+            .and_then(Value::as_f64)
+            .ok_or("phase missing 'sim_seconds'")?,
+        tasks: v
+            .get("tasks")
+            .and_then(Value::as_u64)
+            .ok_or("phase missing 'tasks'")?,
+        task_micros: histogram_from_value(
+            v.get("task_micros").ok_or("phase missing 'task_micros'")?,
+        )?,
+    })
+}
+
+fn span_to_value(s: &SpanRecord) -> Value {
+    Value::Obj(vec![
+        ("name".to_string(), Value::Str(s.name.clone())),
+        (
+            "start_nanos".to_string(),
+            Value::Int(s.start.as_nanos() as i128),
+        ),
+        (
+            "duration_nanos".to_string(),
+            Value::Int(s.duration.as_nanos() as i128),
+        ),
+        (
+            "attrs".to_string(),
+            Value::Obj(
+                s.attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                    .collect(),
+            ),
+        ),
+        (
+            "children".to_string(),
+            Value::Arr(s.children.iter().map(span_to_value).collect()),
+        ),
+    ])
+}
+
+fn span_from_value(v: &Value) -> Result<SpanRecord, String> {
+    let mut attrs = Vec::new();
+    for (k, val) in v
+        .get("attrs")
+        .and_then(Value::as_obj)
+        .ok_or("span missing 'attrs'")?
+    {
+        attrs.push((
+            k.clone(),
+            val.as_str()
+                .ok_or("span attr must be a string")?
+                .to_string(),
+        ));
+    }
+    let mut children = Vec::new();
+    for c in v
+        .get("children")
+        .and_then(Value::as_arr)
+        .ok_or("span missing 'children'")?
+    {
+        children.push(span_from_value(c)?);
+    }
+    Ok(SpanRecord {
+        name: v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("span missing 'name'")?
+            .to_string(),
+        start: Duration::from_nanos(
+            v.get("start_nanos")
+                .and_then(Value::as_u64)
+                .ok_or("span missing 'start_nanos'")?,
+        ),
+        duration: Duration::from_nanos(
+            v.get("duration_nanos")
+                .and_then(Value::as_u64)
+                .ok_or("span missing 'duration_nanos'")?,
+        ),
+        attrs,
+        children,
+    })
+}
+
+/// Human-scale byte count: `982B`, `12.4KB`, `3.1MB`.
+pub fn format_bytes(n: u64) -> String {
+    if n < 1_024 {
+        format!("{n}B")
+    } else if n < 1_024 * 1_024 {
+        format!("{:.1}KB", n as f64 / 1_024.0)
+    } else if n < 1_024 * 1_024 * 1_024 {
+        format!("{:.1}MB", n as f64 / (1_024.0 * 1_024.0))
+    } else {
+        format!("{:.2}GB", n as f64 / (1_024.0 * 1_024.0 * 1_024.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_profile() -> JobProfile {
+        let mut p = JobProfile::new("range-spatial");
+        p.wall = Duration::from_micros(15_700);
+        p.sim_seconds = 0.523;
+        let mut map = PhaseProfile::new("map");
+        map.sim_seconds = 0.4;
+        map.tasks = 8;
+        for t in [120u64, 140, 150, 900, 210, 250, 180, 130] {
+            map.task_micros.observe(t);
+        }
+        p.phases.push(map);
+        p.phases.push(PhaseProfile::new("shuffle"));
+        p.dfs_local_bytes = 64_000;
+        p.dfs_remote_bytes = 8_000;
+        p.dfs_bytes_written = 1_200;
+        p.shuffle_pairs = 42;
+        p.shuffle_bytes = 512;
+        p.selectivity = Selectivity {
+            partitions_total: 10,
+            partitions_scanned: 2,
+            partitions_pruned: 8,
+            records_scanned: 20_000,
+            records_emitted: 37,
+        };
+        p.counters.insert("range.results".to_string(), 37);
+        p.spans = Some(SpanRecord {
+            name: "job:range".to_string(),
+            start: Duration::ZERO,
+            duration: Duration::from_micros(15_700),
+            attrs: vec![("op".to_string(), "range".to_string())],
+            children: vec![SpanRecord {
+                name: "map-wave".to_string(),
+                start: Duration::from_micros(10),
+                duration: Duration::from_micros(14_000),
+                attrs: vec![],
+                children: vec![],
+            }],
+        });
+        p
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact() {
+        let p = sample_profile();
+        let json = p.to_json();
+        let back = JobProfile::from_json(&json).unwrap();
+        assert_eq!(back, p);
+        // And a second trip is stable.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn json_roundtrip_without_spans() {
+        let mut p = sample_profile();
+        p.spans = None;
+        let back = JobProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(JobProfile::from_json("not json").is_err());
+        assert!(JobProfile::from_json("{}").is_err());
+        assert!(JobProfile::from_json("{\"job\": 3}").is_err());
+    }
+
+    #[test]
+    fn render_mentions_the_interesting_numbers() {
+        let text = sample_profile().render();
+        assert!(text.contains("range-spatial"));
+        assert!(text.contains("2 scanned / 8 pruned of 10"));
+        assert!(text.contains("80% pruned"));
+        assert!(text.contains("range.results"));
+        assert!(text.contains("map-wave"));
+        assert!(text.contains("shuffle"));
+    }
+
+    #[test]
+    fn absorb_sums_and_merges_phases() {
+        let mut a = sample_profile();
+        let b = sample_profile();
+        a.absorb(&b);
+        assert_eq!(a.selectivity.partitions_pruned, 16);
+        assert_eq!(a.phase("map").unwrap().tasks, 16);
+        assert_eq!(a.counters["range.results"], 74);
+        assert_eq!(a.phases.len(), 2); // merged by name, not duplicated
+        assert!((a.sim_seconds - 1.046).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pruning_ratio_handles_heap_inputs() {
+        assert_eq!(Selectivity::default().pruning_ratio(), 0.0);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(10), "10B");
+        assert_eq!(format_bytes(2_048), "2.0KB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.0MB");
+    }
+}

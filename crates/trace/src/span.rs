@@ -1,0 +1,252 @@
+//! Hierarchical spans with monotonic timing and key/value attributes.
+//!
+//! A [`Span`] is a cheaply-cloneable handle (`Arc` inside) so concurrent
+//! task threads can open children under one parent wave span. Timing uses
+//! a single monotonic epoch captured at the root, so child offsets are
+//! consistent across the tree. Finished trees snapshot into plain
+//! [`SpanRecord`] values for rendering and attachment to job profiles.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct SpanInner {
+    name: String,
+    start: Duration,
+    end: Option<Duration>,
+    attrs: Vec<(String, String)>,
+    children: Vec<Span>,
+}
+
+/// Live span handle. Clone freely; all clones refer to the same span.
+#[derive(Clone)]
+pub struct Span {
+    epoch: Instant,
+    inner: Arc<Mutex<SpanInner>>,
+}
+
+impl Span {
+    /// Opens a root span; its `Instant` becomes the epoch for the tree.
+    pub fn root(name: impl Into<String>) -> Span {
+        let epoch = Instant::now();
+        Span {
+            epoch,
+            inner: Arc::new(Mutex::new(SpanInner {
+                name: name.into(),
+                start: Duration::ZERO,
+                end: None,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            })),
+        }
+    }
+
+    /// Opens a child span under this one.
+    pub fn child(&self, name: impl Into<String>) -> Span {
+        let child = Span {
+            epoch: self.epoch,
+            inner: Arc::new(Mutex::new(SpanInner {
+                name: name.into(),
+                start: self.epoch.elapsed(),
+                end: None,
+                attrs: Vec::new(),
+                children: Vec::new(),
+            })),
+        };
+        self.inner.lock().children.push(child.clone());
+        child
+    }
+
+    /// Attaches a key/value attribute (last write wins on duplicate keys).
+    pub fn attr(&self, key: impl Into<String>, value: impl ToString) {
+        let key = key.into();
+        let value = value.to_string();
+        let mut inner = self.inner.lock();
+        if let Some(slot) = inner.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            inner.attrs.push((key, value));
+        }
+    }
+
+    /// Closes the span. Idempotent; the first call wins. Unfinished spans
+    /// are implicitly closed at snapshot time.
+    pub fn finish(&self) {
+        let now = self.epoch.elapsed();
+        let mut inner = self.inner.lock();
+        if inner.end.is_none() {
+            inner.end = Some(now);
+        }
+    }
+
+    /// Elapsed time so far (or final duration once finished).
+    pub fn elapsed(&self) -> Duration {
+        let inner = self.inner.lock();
+        inner.end.unwrap_or_else(|| self.epoch.elapsed()) - inner.start
+    }
+
+    /// Snapshots this span and its subtree into plain records, implicitly
+    /// finishing anything still open.
+    pub fn record(&self) -> SpanRecord {
+        let now = self.epoch.elapsed();
+        let inner = self.inner.lock();
+        SpanRecord {
+            name: inner.name.clone(),
+            start: inner.start,
+            duration: inner.end.unwrap_or(now) - inner.start,
+            attrs: inner.attrs.clone(),
+            children: inner.children.iter().map(|c| c.record()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span")
+            .field("name", &self.inner.lock().name)
+            .finish()
+    }
+}
+
+/// Immutable snapshot of a finished span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    pub name: String,
+    /// Offset from the root span's start.
+    pub start: Duration,
+    pub duration: Duration,
+    pub attrs: Vec<(String, String)>,
+    pub children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Total number of spans in this subtree (including self).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanRecord::span_count)
+            .sum::<usize>()
+    }
+
+    /// Finds the first descendant (depth-first) with the given name.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// Render adapter: `format!("{}", SpanTree(&record))` draws the tree.
+pub struct SpanTree<'a>(pub &'a SpanRecord);
+
+impl std::fmt::Display for SpanTree<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn node(
+            f: &mut std::fmt::Formatter<'_>,
+            rec: &SpanRecord,
+            prefix: &str,
+            last: bool,
+            root: bool,
+        ) -> std::fmt::Result {
+            let (branch, cont) = if root {
+                ("", "")
+            } else if last {
+                ("└─ ", "   ")
+            } else {
+                ("├─ ", "│  ")
+            };
+            let label = format!("{prefix}{branch}{}", rec.name);
+            write!(f, "{label:<44} {:>10}", format_duration(rec.duration))?;
+            if !rec.attrs.is_empty() {
+                let attrs: Vec<String> =
+                    rec.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                write!(f, "  [{}]", attrs.join(" "))?;
+            }
+            writeln!(f)?;
+            let child_prefix = format!("{prefix}{cont}");
+            for (i, c) in rec.children.iter().enumerate() {
+                node(f, c, &child_prefix, i + 1 == rec.children.len(), false)?;
+            }
+            Ok(())
+        }
+        node(f, self.0, "", true, true)
+    }
+}
+
+/// Human-scale duration: `428ns`, `1.2ms`, `3.45s`.
+pub fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_attrs() {
+        let root = Span::root("job");
+        root.attr("op", "range");
+        root.attr("op", "range-spatial"); // overwrite
+        let wave = root.child("map-wave");
+        let t0 = wave.child("task-0");
+        t0.finish();
+        let t1 = wave.child("task-1");
+        t1.finish();
+        wave.finish();
+        root.finish();
+
+        let rec = root.record();
+        assert_eq!(rec.span_count(), 4);
+        assert_eq!(
+            rec.attrs,
+            vec![("op".to_string(), "range-spatial".to_string())]
+        );
+        assert_eq!(rec.children.len(), 1);
+        assert_eq!(rec.children[0].children.len(), 2);
+        assert!(rec.find("task-1").is_some());
+        assert!(rec.find("task-9").is_none());
+        // children start at or after the parent
+        assert!(rec.children[0].start >= rec.start);
+    }
+
+    #[test]
+    fn record_implicitly_finishes() {
+        let root = Span::root("job");
+        let _child = root.child("open-ended");
+        let rec = root.record();
+        assert_eq!(rec.children.len(), 1);
+    }
+
+    #[test]
+    fn tree_renders_every_span() {
+        let root = Span::root("job");
+        let wave = root.child("map-wave");
+        wave.attr("tasks", 8);
+        wave.finish();
+        root.child("shuffle").finish();
+        root.finish();
+        let text = format!("{}", SpanTree(&root.record()));
+        assert!(text.contains("job"));
+        assert!(text.contains("├─ map-wave"));
+        assert!(text.contains("└─ shuffle"));
+        assert!(text.contains("tasks=8"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5ns");
+        assert_eq!(format_duration(Duration::from_micros(1500)), "1.5ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

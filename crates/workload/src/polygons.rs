@@ -40,8 +40,8 @@ pub fn random_star_polygon(
     let n = vertices.max(4);
     let ring: Vec<Point> = (0..n)
         .map(|i| {
-            let a = (i as f64 / n as f64) * std::f64::consts::TAU
-                + rng.gen_range(-0.3..0.3) / n as f64;
+            let a =
+                (i as f64 / n as f64) * std::f64::consts::TAU + rng.gen_range(-0.3..0.3) / n as f64;
             let r = radius * rng.gen_range(0.35..1.0);
             Point::new(center.x + a.cos() * r, center.y + a.sin() * r)
         })
@@ -198,7 +198,10 @@ mod tests {
                 concave += 1;
             }
         }
-        assert!(concave > 20, "stars should usually be concave: {concave}/30");
+        assert!(
+            concave > 20,
+            "stars should usually be concave: {concave}/30"
+        );
     }
 
     #[test]

@@ -70,4 +70,9 @@ fn main() {
     for p in &nn.value {
         println!("  {p}  (distance {:.1})", p.distance(&q));
     }
+
+    // 5. Every operation carries a per-job profile: phase durations,
+    //    DFS traffic, shuffle volume, and splitter selectivity.
+    println!();
+    println!("{}", s.profile("range-spatial").render());
 }

@@ -76,7 +76,6 @@ fn main() {
     println!("largest in-universe service region: {worst:.0} square units");
 }
 
-
 fn universe_area() -> f64 {
     let u = default_universe();
     u.width() * u.height()

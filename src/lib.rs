@@ -5,6 +5,7 @@
 //!
 //! The layering mirrors the paper's architecture:
 //!
+//! * [`trace`] — cross-layer observability: spans, metrics, job profiles,
 //! * [`geom`] — computational-geometry substrate,
 //! * [`dfs`] — simulated HDFS (block-structured distributed file system),
 //! * [`mapreduce`] — MapReduce engine with a cluster cost model,
@@ -20,4 +21,5 @@ pub use sh_geom as geom;
 pub use sh_index as index;
 pub use sh_mapreduce as mapreduce;
 pub use sh_pigeon as pigeon;
+pub use sh_trace as trace;
 pub use sh_workload as workload;

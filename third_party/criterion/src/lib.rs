@@ -1,0 +1,158 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the bench files' API (`benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, the `criterion_group!`
+//! and `criterion_main!` macros) but replaces the statistical harness with
+//! a fixed small number of timed iterations per benchmark, printed as one
+//! line each. Good enough to smoke-run `cargo bench` offline; not a
+//! rigorous measurement tool.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations measured per benchmark (after one warm-up call).
+const MEASURED_ITERS: u32 = 3;
+
+/// Top-level handle; create via `Criterion::default()` (the
+/// `criterion_main!` macro does this).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Identifier combining a function name and a parameter, e.g. `hull/1000`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the stand-in always runs a fixed count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&label);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.full);
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&label);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; `iter` times the routine.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = MEASURED_ITERS;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters == 0 {
+            println!("bench {label:<44} (no iterations)");
+        } else {
+            let per = self.total / self.iters;
+            println!("bench {label:<44} {per:>12.2?}/iter ({} iters)", self.iters);
+        }
+    }
+}
+
+/// Bundles bench functions into one runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running each group (bench targets use `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 7), &7u64, |b, &n| b.iter(|| n * n));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,89 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::scope` is used in this workspace; it is implemented on
+//! `std::thread::scope` (stable since 1.63). The `Scope::spawn` closure
+//! receives `&Scope` like crossbeam's, and panics in spawned threads are
+//! contained by std's scope (it re-raises on join), so we catch them and
+//! report the whole scope as an error, matching crossbeam's contract of
+//! returning `Err` when a child panicked.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`] closures; spawn detached-until-scope-end
+/// threads through it.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so it
+    /// can spawn siblings (unused in this workspace, kept for parity).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Join handle of a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Creates a scope in which all spawned threads are joined before it
+/// returns. Returns `Err` with the panic payload when the closure or any
+/// spawned thread panicked (crossbeam semantics).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let n = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            42
+        });
+        assert_eq!(r.unwrap(), 42);
+        assert_eq!(n.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn panicking_child_yields_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+}

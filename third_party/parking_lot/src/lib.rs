@@ -1,0 +1,157 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment resolves crates through a registry mirror that is
+//! unreachable from this container, so the workspace vendors the tiny part
+//! of `parking_lot` it actually uses: `Mutex` and `RwLock` with the
+//! poison-free `lock()` / `read()` / `write()` API. Backed by `std::sync`;
+//! a poisoned std lock (a thread panicked while holding it) is recovered
+//! into the inner value, matching parking_lot's no-poisoning semantics.
+
+use std::sync::{self, TryLockError};
+
+pub use self::mutex::{Mutex, MutexGuard};
+pub use self::rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+mod mutex {
+    use super::*;
+
+    /// Poison-free mutex (API subset of `parking_lot::Mutex`).
+    #[derive(Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: sync::Mutex<T>,
+    }
+
+    pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Mutex<T> {
+            Mutex {
+                inner: sync::Mutex::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.inner
+                .lock()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.inner.try_lock() {
+                Ok(g) => Some(g),
+                Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                Err(TryLockError::WouldBlock) => None,
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner
+                .get_mut()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self.try_lock() {
+                Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
+                None => f.write_str("Mutex { <locked> }"),
+            }
+        }
+    }
+}
+
+mod rwlock {
+    use super::*;
+
+    /// Poison-free reader-writer lock (API subset of `parking_lot::RwLock`).
+    #[derive(Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: sync::RwLock<T>,
+    }
+
+    pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+    pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+    impl<T> RwLock<T> {
+        pub const fn new(value: T) -> RwLock<T> {
+            RwLock {
+                inner: sync::RwLock::new(value),
+            }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.inner
+                .into_inner()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.inner
+                .read()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.inner
+                .write()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner
+                .get_mut()
+                .unwrap_or_else(sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("RwLock { .. }")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_survives_panic_while_held() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison");
+        })
+        .join();
+        // parking_lot semantics: no poisoning.
+        assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+    }
+}

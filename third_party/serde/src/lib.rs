@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` (no serializer
+//! crate is present; JSON output is hand-rolled where needed), so the
+//! traits are markers and the derives expand to empty impls. The `derive`
+//! feature exists so `features = ["derive"]` in dependents resolves.
+
+/// Marker for types that declared themselves serializable.
+pub trait Serialize {}
+
+/// Marker for types that declared themselves deserializable.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

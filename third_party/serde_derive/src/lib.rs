@@ -1,0 +1,46 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` on its geometry and
+//! config types but never invokes the traits (there is no serializer crate
+//! in the dependency graph — JSON rendering is hand-rolled in `sh-trace`).
+//! The derives therefore expand to empty impls of the marker traits.
+
+use proc_macro::TokenStream;
+
+/// Extracts the item's type name (the identifier after `struct`/`enum`),
+/// skipping attributes and doc comments.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        let s = tt.to_string();
+        if saw_kw {
+            return Some(s);
+        }
+        if s == "struct" || s == "enum" {
+            saw_kw = true;
+        }
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = match type_name(&input) {
+        Some(n) => n,
+        None => return TokenStream::new(),
+    };
+    // Generic items would need the generics echoed into the impl header;
+    // nothing in this workspace derives serde on a generic type.
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .unwrap_or_default()
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
