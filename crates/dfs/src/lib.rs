@@ -22,15 +22,21 @@
 //!
 //! Failure injection: [`Dfs::kill_node`] removes a datanode; reads fall
 //! back to surviving replicas and fail only when every replica is gone.
+//! [`FaultPlan`] describes deterministic injected faults (task failures,
+//! wave-boundary node kills, straggler delays) that the job executor in
+//! `sh-mapreduce` applies, and [`FtOptions`] the retry/blacklist/
+//! speculation policy it follows.
 
 mod block;
 mod config;
+mod fault;
 mod metrics;
 mod namespace;
 mod writer;
 
 pub use block::{BlockData, BlockId, BlockInfo};
 pub use config::{ClusterConfig, NodeId};
+pub use fault::{FaultAction, FaultPlan, FtOptions};
 pub use metrics::DfsMetrics;
 pub use namespace::{Dfs, DfsError, FileStat};
 pub use writer::FileWriter;

@@ -10,6 +10,7 @@ use rand::prelude::*;
 
 use crate::block::{BlockData, BlockId, BlockInfo};
 use crate::config::{ClusterConfig, NodeId};
+use crate::fault::FtOptions;
 use crate::metrics::DfsMetrics;
 use crate::writer::FileWriter;
 
@@ -73,6 +74,7 @@ pub struct Dfs {
     config: Arc<ClusterConfig>,
     inner: Arc<Mutex<Inner>>,
     metrics: Arc<DfsMetrics>,
+    ft: Arc<Mutex<FtOptions>>,
 }
 
 impl Dfs {
@@ -80,6 +82,7 @@ impl Dfs {
     pub fn new(config: ClusterConfig) -> Dfs {
         let alive = vec![true; config.num_nodes];
         let rng = StdRng::seed_from_u64(config.placement_seed);
+        let ft = config.ft_options();
         Dfs {
             config: Arc::new(config),
             inner: Arc::new(Mutex::new(Inner {
@@ -91,12 +94,25 @@ impl Dfs {
                 rng,
             })),
             metrics: Arc::new(DfsMetrics::default()),
+            ft: Arc::new(Mutex::new(ft)),
         }
     }
 
     /// The cluster configuration.
     pub fn config(&self) -> &ClusterConfig {
         &self.config
+    }
+
+    /// Snapshot of the current fault-tolerance policy (the executor
+    /// reads this once per job).
+    pub fn ft_options(&self) -> FtOptions {
+        self.ft.lock().clone()
+    }
+
+    /// Adjusts the fault-tolerance policy in place (Pigeon `SET ...`,
+    /// chaos tests installing a [`crate::FaultPlan`]).
+    pub fn update_ft_options(&self, f: impl FnOnce(&mut FtOptions)) {
+        f(&mut self.ft.lock());
     }
 
     /// The I/O counters.
@@ -217,6 +233,18 @@ impl Dfs {
         w.write_str(contents);
         w.close();
         Ok(())
+    }
+
+    /// True when `node` is alive (task trackers heartbeat through the
+    /// namenode in this model, so the scheduler asks the DFS).
+    pub fn node_alive(&self, node: NodeId) -> bool {
+        self.inner.lock().alive.get(node).copied().unwrap_or(false)
+    }
+
+    /// Ids of all live nodes, ascending.
+    pub fn live_nodes(&self) -> Vec<NodeId> {
+        let inner = self.inner.lock();
+        (0..inner.alive.len()).filter(|&n| inner.alive[n]).collect()
     }
 
     /// Marks a datanode dead: its replicas become unreadable.

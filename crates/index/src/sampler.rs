@@ -33,9 +33,11 @@ where
 
 /// Sample size for an input of `records` records: `ratio` of the input,
 /// clamped to `[min, max]` (SpatialHadoop defaults: 1%, at least 1k, at
-/// most 100k sample points).
+/// most 100k sample points) — and never more than the input itself,
+/// so tiny files don't report a "sample" larger than the file.
 pub fn sample_size(records: u64, ratio: f64) -> usize {
-    ((records as f64 * ratio) as usize).clamp(1_000, 100_000)
+    let want = ((records as f64 * ratio) as usize).clamp(1_000, 100_000);
+    want.min(records.min(usize::MAX as u64) as usize)
 }
 
 #[cfg(test)]
@@ -80,9 +82,19 @@ mod tests {
 
     #[test]
     fn sample_size_clamps() {
-        assert_eq!(sample_size(10, 0.01), 1_000);
         assert_eq!(sample_size(1_000_000, 0.01), 10_000);
         assert_eq!(sample_size(1_000_000_000, 0.01), 100_000);
+        assert_eq!(sample_size(50_000, 0.01), 1_000, "minimum floor applies");
+    }
+
+    #[test]
+    fn sample_size_never_exceeds_the_input() {
+        // Regression: the 1k floor used to win over the record count, so
+        // a 10-record file reported a 1000-point "sample".
+        assert_eq!(sample_size(10, 0.01), 10);
+        assert_eq!(sample_size(999, 0.5), 999);
+        assert_eq!(sample_size(1_000, 0.01), 1_000);
+        assert_eq!(sample_size(0, 0.01), 0);
     }
 
     #[test]

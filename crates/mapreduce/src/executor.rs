@@ -1,13 +1,13 @@
-//! Job execution: locality scheduling, threaded task waves, shuffle,
-//! and cost aggregation.
+//! Job execution: locality scheduling, fault-tolerant task waves
+//! (retries, node blacklisting, speculative execution), shuffle, and
+//! cost aggregation.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use sh_dfs::{Dfs, DfsError};
+use sh_dfs::{Dfs, DfsError, FaultPlan, FtOptions};
 use sh_trace::{Histogram, JobProfile, PhaseProfile, Span};
 
 use crate::context::{MapContext, ReduceContext};
@@ -104,6 +104,447 @@ struct MapTaskResult<K, V> {
     counters: BTreeMap<String, u64>,
 }
 
+// ---------------------------------------------------------------------
+// Fault-tolerant wave scheduler
+// ---------------------------------------------------------------------
+
+/// Fault-tolerance tallies of one task wave.
+#[derive(Clone, Copy, Debug, Default)]
+struct FtStats {
+    /// Attempts launched (first runs + retries + speculative backups).
+    attempts: u64,
+    /// Re-attempts queued after a failed attempt.
+    retries: u64,
+    /// Speculative backup attempts launched for stragglers.
+    speculative_launched: u64,
+    /// Speculative backups that finished first and won their task.
+    speculative_won: u64,
+    /// Nodes blacklisted after repeated failures.
+    nodes_blacklisted: u64,
+}
+
+impl FtStats {
+    fn absorb(&mut self, o: FtStats) {
+        self.attempts += o.attempts;
+        self.retries += o.retries;
+        self.speculative_launched += o.speculative_launched;
+        self.speculative_won += o.speculative_won;
+        self.nodes_blacklisted += o.nodes_blacklisted;
+    }
+}
+
+/// Per-task bookkeeping inside a wave.
+#[derive(Clone, Debug, Default)]
+struct TaskState {
+    /// Attempts launched so far (also the next attempt's number).
+    attempts: usize,
+    /// Attempts currently in flight.
+    running: usize,
+    /// Nodes with an in-flight attempt of this task.
+    active_nodes: Vec<usize>,
+    /// Nodes where an attempt of this task failed (never reused).
+    failed_nodes: Vec<usize>,
+    /// First result installed — later finishers are discarded.
+    done: bool,
+    /// A speculative backup was already launched.
+    speculated: bool,
+    /// Launch time of the earliest attempt (straggler detection).
+    first_started: Option<Instant>,
+}
+
+struct WaveState {
+    /// Tasks awaiting a (re)attempt.
+    queue: VecDeque<usize>,
+    tasks: Vec<TaskState>,
+    /// Failed attempts per node, across all tasks of the wave.
+    node_failures: BTreeMap<usize, u64>,
+    /// Nodes the wave no longer schedules onto.
+    blacklist: Vec<usize>,
+    /// Tasks without an installed result.
+    remaining: usize,
+    /// First task to exhaust its attempt budget fails the job; later
+    /// failures never overwrite this.
+    fatal: Option<JobError>,
+    stats: FtStats,
+}
+
+enum Work {
+    Run {
+        task: usize,
+        attempt: usize,
+        node: usize,
+        speculative: bool,
+    },
+    Wait,
+    Exit,
+}
+
+/// Hadoop-shaped fault-tolerant execution of one wave of tasks: a failed
+/// attempt is retried (with deterministic backoff) on another live
+/// replica node, nodes that keep failing are blacklisted (triggering DFS
+/// re-replication), and once the queue drains a straggling task gets a
+/// speculative duplicate — first finisher wins, the loser is cancelled.
+struct WaveRunner<'a, T> {
+    dfs: &'a Dfs,
+    opts: &'a FtOptions,
+    /// Fault injection (map waves only — `None` disables).
+    plan: Option<&'a FaultPlan>,
+    wave_span: &'a Span,
+    /// Task-name prefix in spans: `map` or `reduce`.
+    phase: &'a str,
+    /// Scheduler's preferred node per task (attempt 0).
+    assignments: &'a [usize],
+    /// Replica holders per task, in preference order for retries.
+    replicas: Vec<Vec<usize>>,
+    state: Mutex<WaveState>,
+    cv: Condvar,
+    results: Mutex<Vec<Option<T>>>,
+    task_micros: Mutex<Histogram>,
+}
+
+impl<'a, T: Send> WaveRunner<'a, T> {
+    fn new(
+        dfs: &'a Dfs,
+        opts: &'a FtOptions,
+        plan: Option<&'a FaultPlan>,
+        wave_span: &'a Span,
+        phase: &'a str,
+        assignments: &'a [usize],
+        replicas: Vec<Vec<usize>>,
+    ) -> WaveRunner<'a, T> {
+        let n = assignments.len();
+        WaveRunner {
+            dfs,
+            opts,
+            plan,
+            wave_span,
+            phase,
+            assignments,
+            replicas,
+            state: Mutex::new(WaveState {
+                queue: (0..n).collect(),
+                tasks: vec![TaskState::default(); n],
+                node_failures: BTreeMap::new(),
+                blacklist: Vec::new(),
+                remaining: n,
+                fatal: None,
+                stats: FtStats::default(),
+            }),
+            cv: Condvar::new(),
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            task_micros: Mutex::new(Histogram::new()),
+        }
+    }
+
+    /// Runs the wave on `threads` workers; returns results in task order
+    /// plus the wave's fault-tolerance tallies and task-duration
+    /// histogram (winning attempts only).
+    fn run<F>(self, threads: usize, run_task: F) -> Result<(Vec<T>, FtStats, Histogram), JobError>
+    where
+        F: Fn(usize, usize) -> Result<T, JobError> + Sync,
+    {
+        let run_task = &run_task;
+        let me = &self;
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(move |_| me.worker(run_task));
+            }
+        })
+        .expect("wave worker thread infrastructure failed");
+        let state = self.state.into_inner().expect("wave state poisoned");
+        if let Some(e) = state.fatal {
+            return Err(e);
+        }
+        let results = self
+            .results
+            .into_inner()
+            .expect("wave results poisoned")
+            .into_iter()
+            .map(|r| r.expect("wave completed without a fatal error"))
+            .collect();
+        let micros = self.task_micros.into_inner().expect("histogram poisoned");
+        Ok((results, state.stats, micros))
+    }
+
+    fn worker<F>(&self, run_task: &F)
+    where
+        F: Fn(usize, usize) -> Result<T, JobError> + Sync,
+    {
+        loop {
+            match self.next_work() {
+                Work::Exit => break,
+                Work::Wait => {
+                    let st = self.state.lock().unwrap();
+                    if st.fatal.is_some() || st.remaining == 0 {
+                        break;
+                    }
+                    // Periodic wake keeps the straggler clock honest.
+                    let _ = self.cv.wait_timeout(st, Duration::from_millis(2)).unwrap();
+                }
+                Work::Run {
+                    task,
+                    attempt,
+                    node,
+                    speculative,
+                } => self.execute(task, attempt, node, speculative, run_task),
+            }
+        }
+    }
+
+    /// Claims the next attempt. Workers stop claiming the moment a
+    /// fatal failure is recorded.
+    fn next_work(&self) -> Work {
+        let mut st = self.state.lock().unwrap();
+        if st.fatal.is_some() || st.remaining == 0 {
+            return Work::Exit;
+        }
+        if let Some(task) = st.queue.pop_front() {
+            let node = self.pick_node(&st, task);
+            let ts = &mut st.tasks[task];
+            let attempt = ts.attempts;
+            ts.attempts += 1;
+            ts.running += 1;
+            ts.active_nodes.push(node);
+            if ts.first_started.is_none() {
+                ts.first_started = Some(Instant::now());
+            }
+            st.stats.attempts += 1;
+            return Work::Run {
+                task,
+                attempt,
+                node,
+                speculative: false,
+            };
+        }
+        if self.opts.speculative_execution {
+            let threshold = Duration::from_millis(self.opts.speculation_threshold_ms);
+            let now = Instant::now();
+            for task in 0..st.tasks.len() {
+                let ts = &st.tasks[task];
+                let straggling = ts
+                    .first_started
+                    .is_some_and(|t0| now.duration_since(t0) >= threshold);
+                if !ts.done
+                    && ts.running > 0
+                    && !ts.speculated
+                    && ts.attempts < self.opts.max_task_attempts
+                    && straggling
+                {
+                    let node = self.pick_node(&st, task);
+                    let ts = &mut st.tasks[task];
+                    let attempt = ts.attempts;
+                    ts.attempts += 1;
+                    ts.running += 1;
+                    ts.active_nodes.push(node);
+                    ts.speculated = true;
+                    st.stats.attempts += 1;
+                    st.stats.speculative_launched += 1;
+                    return Work::Run {
+                        task,
+                        attempt,
+                        node,
+                        speculative: true,
+                    };
+                }
+            }
+        }
+        Work::Wait
+    }
+
+    /// Node choice for an attempt: the scheduled node, then another live
+    /// replica holder (data-local retry), then any live node (remote
+    /// read) — always skipping blacklisted nodes, nodes this task
+    /// already failed on, and nodes already running this task. With the
+    /// whole cluster dead the scheduled node is returned so the DFS
+    /// error surfaces naturally.
+    fn pick_node(&self, st: &WaveState, task: usize) -> usize {
+        let ts = &st.tasks[task];
+        let excluded = |n: usize| {
+            st.blacklist.contains(&n)
+                || ts.failed_nodes.contains(&n)
+                || ts.active_nodes.contains(&n)
+        };
+        let assigned = self.assignments[task];
+        // A task's first attempt runs where it was scheduled even if the
+        // node has died since (the scheduler only learns of the death
+        // from the failed attempt, as from a missed heartbeat) — unless
+        // a sibling task's failure already blacklisted the node.
+        if ts.attempts == 0 && !st.blacklist.contains(&assigned) {
+            return assigned;
+        }
+        if self.dfs.node_alive(assigned) && !excluded(assigned) {
+            return assigned;
+        }
+        if let Some(&n) = self.replicas[task]
+            .iter()
+            .find(|&&n| self.dfs.node_alive(n) && !excluded(n))
+        {
+            return n;
+        }
+        let live = self.dfs.live_nodes();
+        if let Some(&n) = live.iter().find(|&&n| !excluded(n)) {
+            return n;
+        }
+        live.first().copied().unwrap_or(assigned)
+    }
+
+    fn execute<F>(&self, task: usize, attempt: usize, node: usize, speculative: bool, run_task: &F)
+    where
+        F: Fn(usize, usize) -> Result<T, JobError> + Sync,
+    {
+        let span = self
+            .wave_span
+            .child(format!("{}-{task}/attempt-{attempt}", self.phase));
+        span.attr("node", node);
+        if speculative {
+            span.attr("speculative", true);
+        }
+        // Deterministic backoff before re-attempts: attempt `a` waits
+        // `a * backoff` (speculative backups start immediately).
+        if attempt > 0 && !speculative && self.opts.retry_backoff_ms > 0 {
+            std::thread::sleep(Duration::from_millis(
+                self.opts.retry_backoff_ms * attempt as u64,
+            ));
+        }
+        // Injected straggler delay, in cancellable slices: when the
+        // speculative backup wins meanwhile, the delayed loser aborts
+        // instead of sleeping out its full handicap.
+        let mut cancelled = false;
+        if let Some(delay) = self.plan.and_then(|p| p.delay_for(task, attempt)) {
+            let deadline = Instant::now() + delay;
+            loop {
+                if self.state.lock().unwrap().tasks[task].done {
+                    cancelled = true;
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                std::thread::sleep((deadline - now).min(Duration::from_millis(5)));
+            }
+        }
+        let verdict: Option<Result<T, JobError>> = if cancelled {
+            span.attr("cancelled", true);
+            None
+        } else if self.plan.is_some_and(|p| p.should_fail(task, attempt)) {
+            Some(Err(JobError::TaskFailed(format!(
+                "injected fault: {}-{task}/attempt-{attempt}",
+                self.phase
+            ))))
+        } else if !self.dfs.node_alive(node) && !self.dfs.live_nodes().is_empty() {
+            // The attempt's node died while the cluster is otherwise
+            // up: the task dies with it and reschedules elsewhere.
+            Some(Err(JobError::TaskFailed(format!(
+                "{}-{task}/attempt-{attempt}: node {node} lost",
+                self.phase
+            ))))
+        } else {
+            // Hadoop semantics: a panicking task fails the attempt (and
+            // eventually the job), never the process.
+            let attempt_result =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_task(task, node)));
+            Some(attempt_result.unwrap_or_else(|panic| {
+                Err(JobError::TaskFailed(format!(
+                    "{}-{task}/attempt-{attempt}: {}",
+                    self.phase,
+                    panic_message(&panic)
+                )))
+            }))
+        };
+        span.finish();
+        self.settle(task, node, speculative, verdict, span.elapsed());
+    }
+
+    /// Records an attempt's outcome; called exactly once per attempt.
+    fn settle(
+        &self,
+        task: usize,
+        node: usize,
+        speculative: bool,
+        verdict: Option<Result<T, JobError>>,
+        elapsed: Duration,
+    ) {
+        let mut blacklisted_now = false;
+        {
+            let mut st = self.state.lock().unwrap();
+            {
+                let ts = &mut st.tasks[task];
+                ts.running -= 1;
+                ts.active_nodes.retain(|&n| n != node);
+            }
+            match verdict {
+                Some(Ok(result)) if !st.tasks[task].done => {
+                    st.tasks[task].done = true;
+                    st.remaining -= 1;
+                    if speculative {
+                        st.stats.speculative_won += 1;
+                    }
+                    self.results.lock().unwrap()[task] = Some(result);
+                    // Only the winning attempt shapes the duration
+                    // histogram: one entry per task.
+                    let micros = elapsed.as_micros() as u64;
+                    self.task_micros.lock().unwrap().observe(micros);
+                }
+                Some(Err(e)) if !st.tasks[task].done => {
+                    st.tasks[task].failed_nodes.push(node);
+                    let failures = st.node_failures.entry(node).or_insert(0);
+                    *failures += 1;
+                    if *failures >= self.opts.node_blacklist_threshold as u64
+                        && !st.blacklist.contains(&node)
+                    {
+                        st.blacklist.push(node);
+                        st.stats.nodes_blacklisted += 1;
+                        blacklisted_now = true;
+                    }
+                    let ts = &st.tasks[task];
+                    if ts.attempts < self.opts.max_task_attempts {
+                        st.stats.retries += 1;
+                        st.queue.push_back(task);
+                    } else if ts.running == 0 {
+                        // Attempt budget exhausted with nothing in
+                        // flight: the job fails. Keep the FIRST
+                        // error; workers stop claiming.
+                        if st.fatal.is_none() {
+                            st.fatal = Some(e);
+                        }
+                    }
+                    // Otherwise a sibling attempt is still running
+                    // and gets to decide the task's fate.
+                }
+                // Cancelled loser of a speculative race (`None`), or a
+                // late finisher of an already-won task: not a failure.
+                _ => {}
+            }
+            self.cv.notify_all();
+        }
+        if blacklisted_now {
+            // A node the scheduler gave up on is likely dead: ask the
+            // namenode to restore the replication factor so retries
+            // find live replicas (no-op for healthy nodes).
+            let created = self.dfs.rereplicate();
+            self.wave_span.attr("rereplicated_blocks", created);
+            sh_trace::global().counter_add("job.rereplicated.blocks", created as u64);
+        }
+    }
+}
+
+/// Worker-thread count for a wave: the configured pool size (default:
+/// every core), never more than the task count — plus one slot of
+/// headroom for speculative backups.
+fn wave_threads(opts: &FtOptions, n_tasks: usize) -> usize {
+    let pool = opts
+        .worker_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1);
+    let headroom = usize::from(opts.speculative_execution);
+    pool.min(n_tasks.saturating_add(headroom).max(1))
+}
+
 /// Runs a configured job (called from [`Job::run`]).
 pub(crate) fn run<M, R>(job: Job<M, R>) -> Result<JobOutcome, JobError>
 where
@@ -113,6 +554,7 @@ where
     let start = Instant::now();
     let dfs = job.dfs.clone();
     let cfg = dfs.config().clone();
+    let opts = dfs.ft_options();
     let counters = Counters::new();
     let span = Span::root(format!("job:{}", job.name));
     span.attr("splits", job.splits.len());
@@ -130,76 +572,47 @@ where
         )));
     }
 
-    // ---- schedule: assign each split to a node, locality first -------
+    // ---- schedule: assign each split to a live node, locality first ---
     let assignments = assign_nodes(&job, cfg.num_nodes);
+
+    // ---- wave boundary: injected node kills strike here --------------
+    // (after scheduling, before the first attempt runs — tasks placed
+    // on a killed node must fail over to replica holders).
+    for node in opts.fault_plan.nodes_to_kill() {
+        dfs.kill_node(node);
+        span.attr("injected_node_kill", node);
+    }
 
     // ---- map phase ----------------------------------------------------
     let n_tasks = job.splits.len();
     let map_span = span.child("map-wave");
     map_span.attr("tasks", n_tasks);
-    let map_task_micros: Mutex<Histogram> = Mutex::new(Histogram::new());
-    #[allow(clippy::type_complexity)]
-    let results: Mutex<Vec<Option<MapTaskResult<M::K, M::V>>>> =
-        Mutex::new((0..n_tasks).map(|_| None).collect());
-    let next = AtomicUsize::new(0);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(8)
-        .min(n_tasks.max(1));
-    let failure: Mutex<Option<JobError>> = Mutex::new(None);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_tasks {
-                    break;
-                }
-                let task_span = map_span.child(format!("map-{i}"));
-                task_span.attr("node", assignments[i]);
-                // Hadoop semantics: a panicking task fails the job, not
-                // the process.
-                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    run_map_task(&job, i, assignments[i])
-                }));
-                task_span.finish();
-                map_task_micros
-                    .lock()
-                    .observe(task_span.elapsed().as_micros() as u64);
-                match attempt {
-                    Ok(Ok(res)) => {
-                        results.lock()[i] = Some(res);
-                    }
-                    Ok(Err(e)) => {
-                        *failure.lock() = Some(JobError::Dfs(e));
-                        break;
-                    }
-                    Err(panic) => {
-                        *failure.lock() = Some(JobError::TaskFailed(format!(
-                            "map task {i}: {}",
-                            panic_message(&panic)
-                        )));
-                        break;
-                    }
-                }
-            });
-        }
-    })
-    .expect("map worker thread infrastructure failed");
-    map_span.finish();
-    if let Some(e) = failure.into_inner() {
-        return Err(e);
-    }
-    if results.lock().iter().any(Option::is_none) {
-        return Err(JobError::TaskFailed(
-            "a map task was abandoned after another task failed".into(),
-        ));
-    }
-    let mut map_results: Vec<MapTaskResult<M::K, M::V>> = results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("all map tasks completed"))
+    let mut ft = FtStats::default();
+    let replicas: Vec<Vec<usize>> = job
+        .splits
+        .iter()
+        .map(|s| s.preferred_nodes().to_vec())
         .collect();
+    let (mut map_results, map_ft, map_task_micros) = if n_tasks > 0 {
+        let runner: WaveRunner<'_, MapTaskResult<M::K, M::V>> = WaveRunner::new(
+            &dfs,
+            &opts,
+            Some(&opts.fault_plan),
+            &map_span,
+            "map",
+            &assignments,
+            replicas,
+        );
+        let outcome = runner.run(wave_threads(&opts, n_tasks), |task, node| {
+            run_map_task(&job, task, node).map_err(JobError::Dfs)
+        });
+        map_span.finish();
+        outcome?
+    } else {
+        map_span.finish();
+        (Vec::new(), FtStats::default(), Histogram::new())
+    };
+    ft.absorb(map_ft);
 
     // ---- side files (named outputs shared across tasks) ---------------
     let mut side_files: BTreeMap<String, Vec<String>> = BTreeMap::new();
@@ -244,7 +657,7 @@ where
     let mut reduce_tasks_run = 0usize;
     let mut shuffle_pairs_total = 0u64;
     let mut shuffle_bytes_total = 0u64;
-    let reduce_task_micros: Mutex<Histogram> = Mutex::new(Histogram::new());
+    let mut reduce_task_micros = Histogram::new();
     if let Some(reducer) = &job.reducer {
         let shuffle_span = span.child("shuffle");
         let r = job.num_reducers;
@@ -271,50 +684,47 @@ where
         // ---- reduce phase ---------------------------------------------
         let reduce_span = span.child("reduce-wave");
         reduce_span.attr("tasks", r);
-        let reduce_results: Mutex<Vec<Option<ReduceTaskResult>>> =
-            Mutex::new((0..r).map(|_| None).collect());
-        let next_r = AtomicUsize::new(0);
-        let buckets_ref = &buckets;
-        let reduce_failure: Mutex<Option<JobError>> = Mutex::new(None);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.min(r.max(1)) {
-                scope.spawn(|_| loop {
-                    let i = next_r.fetch_add(1, Ordering::Relaxed);
-                    if i >= r {
-                        break;
-                    }
-                    let task_span = reduce_span.child(format!("reduce-{i}"));
-                    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        run_reduce_task::<M, R>(reducer, &buckets_ref[i], i, &cfg)
-                    }));
-                    task_span.finish();
-                    reduce_task_micros
-                        .lock()
-                        .observe(task_span.elapsed().as_micros() as u64);
-                    match attempt {
-                        Ok(res) => {
-                            reduce_results.lock()[i] = Some(res);
-                        }
-                        Err(panic) => {
-                            *reduce_failure.lock() = Some(JobError::TaskFailed(format!(
-                                "reduce task {i}: {}",
-                                panic_message(&panic)
-                            )));
-                            break;
-                        }
-                    }
-                });
+        // Reduce tasks are scheduled round-robin over *live* nodes: by
+        // reduce time the scheduler has heard which nodes died during
+        // the map wave (dead-cluster fallback keeps the error path).
+        let live_nodes = {
+            let live = dfs.live_nodes();
+            if live.is_empty() {
+                (0..cfg.num_nodes.max(1)).collect()
+            } else {
+                live
             }
-        })
-        .expect("reduce worker thread infrastructure failed");
+        };
+        let reduce_assignments: Vec<usize> =
+            (0..r).map(|i| live_nodes[i % live_nodes.len()]).collect();
+        let buckets_ref = &buckets;
+        // Reduce retries reuse the wave machinery; fault injection and
+        // replica-directed rescheduling only apply to map waves.
+        let runner: WaveRunner<'_, ReduceTaskResult> = WaveRunner::new(
+            &dfs,
+            &opts,
+            None,
+            &reduce_span,
+            "reduce",
+            &reduce_assignments,
+            vec![Vec::new(); r],
+        );
+        let outcome = runner.run(wave_threads(&opts, r), |task, _node| {
+            Ok(run_reduce_task::<M, R>(
+                reducer,
+                &buckets_ref[task],
+                task,
+                &cfg,
+            ))
+        });
         reduce_span.finish();
-        if let Some(e) = reduce_failure.into_inner() {
-            return Err(e);
-        }
+        let (reduce_results, reduce_ft, micros) = outcome?;
+        ft.absorb(reduce_ft);
+        reduce_task_micros = micros;
 
         let mut reduce_costs: Vec<TaskCost> = Vec::with_capacity(r);
-        for (i, res) in reduce_results.into_inner().into_iter().enumerate() {
-            let (mut cost, output, side, task_counters) = res.expect("reduce task completed");
+        for (i, res) in reduce_results.into_iter().enumerate() {
+            let (mut cost, output, side, task_counters) = res;
             for (name, lines) in side {
                 let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
                 cost.output_bytes += bytes;
@@ -354,6 +764,14 @@ where
         );
     }
 
+    counters.inc_static("task.retries", ft.retries);
+    counters.inc_static("task.speculative.launched", ft.speculative_launched);
+    counters.inc_static("task.speculative.won", ft.speculative_won);
+    counters.inc_static("nodes.blacklisted", ft.nodes_blacklisted);
+    span.attr("task_retries", ft.retries);
+    span.attr("speculative_launched", ft.speculative_launched);
+    span.attr("nodes_blacklisted", ft.nodes_blacklisted);
+
     span.finish();
     let counters = counters.snapshot();
     let profile = build_profile(
@@ -364,10 +782,11 @@ where
         &map_costs,
         n_tasks,
         reduce_tasks_run,
-        map_task_micros.into_inner(),
-        reduce_task_micros.into_inner(),
+        map_task_micros,
+        reduce_task_micros,
         shuffle_pairs_total,
         shuffle_bytes_total,
+        ft,
         span.record(),
     );
 
@@ -398,6 +817,7 @@ fn build_profile(
     reduce_task_micros: Histogram,
     shuffle_pairs: u64,
     shuffle_bytes: u64,
+    ft: FtStats,
     spans: sh_trace::SpanRecord,
 ) -> JobProfile {
     let registry = sh_trace::global();
@@ -406,6 +826,10 @@ fn build_profile(
     registry.counter_add("job.reduce.tasks", reduce_tasks as u64);
     registry.counter_add("job.shuffle.pairs", shuffle_pairs);
     registry.counter_add("job.shuffle.bytes", shuffle_bytes);
+    registry.counter_add("job.task_retries", ft.retries);
+    registry.counter_add("job.speculative_launched", ft.speculative_launched);
+    registry.counter_add("job.speculative_won", ft.speculative_won);
+    registry.counter_add("job.nodes_blacklisted", ft.nodes_blacklisted);
     registry.observe("job.wall.micros", wall.as_micros() as u64);
     registry.observe_histogram("job.map.task.micros", &map_task_micros);
     registry.observe_histogram("job.reduce.task.micros", &reduce_task_micros);
@@ -433,17 +857,29 @@ fn build_profile(
         + counters.get("output.side.bytes").copied().unwrap_or(0);
     profile.shuffle_pairs = shuffle_pairs;
     profile.shuffle_bytes = shuffle_bytes;
+    profile.task_retries = ft.retries;
+    profile.speculative_launched = ft.speculative_launched;
+    profile.speculative_won = ft.speculative_won;
+    profile.nodes_blacklisted = ft.nodes_blacklisted;
     profile.counters = counters.clone();
     profile.spans = Some(spans);
     profile
 }
 
 /// Locality-aware greedy assignment of splits to nodes: each split goes
-/// to its least-loaded replica holder; load is balanced in bytes.
+/// to its least-loaded *live* replica holder; load is balanced in bytes.
+/// Dead nodes are skipped at schedule time (the namenode knows the
+/// heartbeat state); nodes that die later are handled by attempt
+/// rescheduling.
 fn assign_nodes<M: Mapper, R: Reducer<K = M::K, V = M::V>>(
     job: &Job<M, R>,
     num_nodes: usize,
 ) -> Vec<usize> {
+    let alive: Vec<bool> = (0..num_nodes.max(1))
+        .map(|n| job.dfs.node_alive(n))
+        .collect();
+    let any_alive = alive.iter().any(|&a| a);
+    let usable = |n: usize| !any_alive || alive.get(n).copied().unwrap_or(false);
     let mut load = vec![0u64; num_nodes.max(1)];
     let mut order: Vec<usize> = (0..job.splits.len()).collect();
     // Place big splits first (LPT-style) for better balance.
@@ -453,21 +889,23 @@ fn assign_nodes<M: Mapper, R: Reducer<K = M::K, V = M::V>>(
     for i in order {
         let split = &job.splits[i];
         let preferred = split.preferred_nodes();
+        let fallback = |load: &[u64]| {
+            (0..load.len())
+                .filter(|&n| usable(n))
+                .min_by_key(|&n| load[n])
+                .unwrap_or(0)
+        };
         let node = if locality {
             preferred
                 .iter()
                 .copied()
-                .min_by_key(|&n| load[n % load.len()])
-                .unwrap_or_else(|| {
-                    (0..load.len())
-                        .min_by_key(|&n| load[n])
-                        .expect("at least one node")
-                })
+                .map(|n| n % load.len())
+                .filter(|&n| usable(n))
+                .min_by_key(|&n| load[n])
+                .unwrap_or_else(|| fallback(&load))
         } else {
             // Locality-blind: pure load balancing, ignoring replicas.
-            (0..load.len())
-                .min_by_key(|&n| load[n])
-                .expect("at least one node")
+            fallback(&load)
         };
         let node = node % load.len();
         load[node] += split.len().max(1);
@@ -676,6 +1114,9 @@ mod tests {
         assert_eq!(outcome.counters["user.records"], 5000);
         assert_eq!(outcome.counters["shuffle.pairs"], 10_000);
         assert!(outcome.sim.total() > 0.0);
+        // Fault-free run: no retries, nothing blacklisted.
+        assert_eq!(outcome.profile.task_retries, 0);
+        assert_eq!(outcome.profile.nodes_blacklisted, 0);
     }
 
     #[test]
@@ -1078,11 +1519,13 @@ mod tests {
         assert!(p.dfs_bytes_written > 0);
         assert_eq!(p.counters, outcome.counters);
         // Span tree: root job span with map-wave/shuffle/reduce-wave
-        // children, and one span per task.
+        // children, and one span per task attempt (fault-free run: one
+        // attempt per task).
         let spans = p.spans.as_ref().unwrap();
         assert_eq!(spans.name, "job:profiled");
         let wave = spans.find("map-wave").unwrap();
         assert_eq!(wave.children.len(), outcome.map_tasks);
+        assert!(spans.find("map-0/attempt-0").is_some());
         assert!(spans.find("shuffle").is_some());
         assert_eq!(spans.find("reduce-wave").unwrap().children.len(), 3);
         // JSON export of a real profile round-trips.
@@ -1108,5 +1551,166 @@ mod tests {
         let mut lines = outcome.read_output(&fs).unwrap();
         lines.sort();
         assert!(lines.contains(&"common 2000".to_string()));
+    }
+
+    // ---- fault-tolerance unit tests ----------------------------------
+
+    /// A config with fast retries for fault tests.
+    fn chaos_config() -> ClusterConfig {
+        ClusterConfig {
+            retry_backoff_ms: 0,
+            ..ClusterConfig::small_for_tests()
+        }
+    }
+
+    #[test]
+    fn injected_task_failure_is_retried_and_job_succeeds() {
+        let mut cfg = chaos_config();
+        cfg.fault_plan = sh_dfs::FaultPlan::none().fail_task(0, 0).fail_task(0, 1);
+        let fs = Dfs::new(cfg);
+        wordcount_input(&fs, 1000);
+        let outcome = JobBuilder::new(&fs, "retry")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(outcome.profile.task_retries, 2, "two injected failures");
+        assert_eq!(outcome.counters["task.retries"], 2);
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert!(lines.contains(&"common 1000".to_string()));
+        // Attempt spans exist for the failed and the winning attempt.
+        let spans = outcome.profile.spans.as_ref().unwrap();
+        assert!(spans.find("map-0/attempt-0").is_some());
+        assert!(spans.find("map-0/attempt-2").is_some());
+    }
+
+    #[test]
+    fn attempts_exhausted_keeps_first_error() {
+        let mut cfg = chaos_config();
+        cfg.max_task_attempts = 2;
+        cfg.fault_plan = sh_dfs::FaultPlan::none()
+            .fail_task(0, 0)
+            .fail_task(0, 1)
+            .fail_task(1, 0)
+            .fail_task(1, 1);
+        let fs = Dfs::new(cfg);
+        wordcount_input(&fs, 2000);
+        let err = JobBuilder::new(&fs, "doomed")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 1)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run();
+        match err {
+            Err(JobError::TaskFailed(msg)) => {
+                assert!(msg.contains("injected fault"), "{msg}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_the_node() {
+        let mut cfg = chaos_config();
+        cfg.node_blacklist_threshold = 1;
+        // Kill node 0 at the wave boundary: every task scheduled there
+        // fails once, the node is blacklisted, the DFS re-replicates.
+        cfg.fault_plan = sh_dfs::FaultPlan::none().kill_node(0);
+        let fs = Dfs::new(cfg);
+        wordcount_input(&fs, 3000);
+        let outcome = JobBuilder::new(&fs, "blacklist")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            outcome.profile.task_retries >= 1,
+            "tasks on the killed node must retry: {:?}",
+            outcome.profile.task_retries
+        );
+        assert_eq!(outcome.profile.nodes_blacklisted, 1);
+        // Re-replication restored the factor for every surviving block.
+        assert_eq!(fs.rereplicate(), 0, "already re-replicated during job");
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert!(lines.contains(&"common 3000".to_string()));
+    }
+
+    #[test]
+    fn speculative_backup_beats_injected_straggler() {
+        let mut cfg = chaos_config();
+        cfg.speculative_execution = true;
+        cfg.speculation_threshold_ms = 10;
+        // Speculation needs an idle worker while the straggler runs, so
+        // don't let a 1-core machine shrink the pool to a single thread.
+        cfg.worker_threads = Some(4);
+        cfg.fault_plan = sh_dfs::FaultPlan::none().delay_task(0, 2_000);
+        let fs = Dfs::new(cfg);
+        wordcount_input(&fs, 2000);
+        let t0 = Instant::now();
+        let outcome = JobBuilder::new(&fs, "speculate")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(outcome.profile.speculative_launched >= 1);
+        assert!(
+            outcome.profile.speculative_won >= 1,
+            "the undelayed backup must win: {:?}",
+            outcome.profile
+        );
+        assert!(
+            t0.elapsed() < Duration::from_millis(1_900),
+            "cancelled straggler must not serve out its full delay"
+        );
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert!(lines.contains(&"common 2000".to_string()));
+    }
+
+    #[test]
+    fn worker_pool_size_is_configurable() {
+        let mut cfg = chaos_config();
+        cfg.worker_threads = Some(1);
+        let fs = Dfs::new(cfg);
+        wordcount_input(&fs, 1000);
+        let outcome = JobBuilder::new(&fs, "single-threaded")
+            .input_file("/in")
+            .unwrap()
+            .mapper(CountMapper)
+            .reducer(SumReducer, 2)
+            .output("/out")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut lines = outcome.read_output(&fs).unwrap();
+        lines.sort();
+        assert!(lines.contains(&"common 1000".to_string()));
+        // And the default is uncapped available_parallelism (regression:
+        // the pool used to be hard-capped at 8 threads).
+        let opts = fs.ft_options();
+        let auto = wave_threads(&opts, 1_000);
+        let cores = std::thread::available_parallelism().unwrap().get();
+        assert_eq!(auto, cores.min(1_000));
     }
 }

@@ -33,9 +33,19 @@ pub struct InputSplit {
 impl InputSplit {
     /// Splits a two-input split's concatenated data back into the first
     /// and second input's text.
+    ///
+    /// The cut point is clamped to the data actually read (and to a
+    /// UTF-8 boundary): a short read — e.g. from a degraded replica —
+    /// must not panic the task, it just yields a shorter first input.
     pub fn split_data<'a>(&self, data: &'a str) -> (&'a str, &'a str) {
         match self.first_input_bytes {
-            Some(b) => data.split_at(b as usize),
+            Some(b) => {
+                let mut cut = (b as usize).min(data.len());
+                while cut > 0 && !data.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                data.split_at(cut)
+            }
             None => (data, ""),
         }
     }
@@ -141,6 +151,24 @@ mod tests {
         let s = InputSplit::whole_file(&fs, "/f").unwrap();
         assert!(s.blocks.len() > 1);
         assert_eq!(s.len(), fs.stat("/f").unwrap().len);
+    }
+
+    #[test]
+    fn split_data_clamps_short_reads() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        fs.write_string("/f", "a\nb\n").unwrap();
+        let mut s = InputSplit::whole_file(&fs, "/f").unwrap();
+        s.first_input_bytes = Some(2);
+        assert_eq!(s.split_data("a\nb\n"), ("a\n", "b\n"));
+        // Regression: a short read used to panic in split_at; now the
+        // cut clamps to whatever data arrived.
+        s.first_input_bytes = Some(100);
+        assert_eq!(s.split_data("a\n"), ("a\n", ""));
+        s.first_input_bytes = Some(2);
+        assert_eq!(s.split_data(""), ("", ""));
+        // Cuts land on UTF-8 boundaries, not mid-codepoint.
+        s.first_input_bytes = Some(1);
+        assert_eq!(s.split_data("é\n"), ("", "é\n"));
     }
 
     #[test]

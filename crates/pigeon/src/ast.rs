@@ -121,6 +121,12 @@ pub enum Stmt {
     /// `PROFILE <statement>` — run the inner statement and dump the
     /// rendered [`JobProfile`](sh_trace::JobProfile) of the jobs it ran.
     Profile(Box<Stmt>),
+    /// `SET <option> <value>;` — adjust the cluster's fault-tolerance
+    /// policy for subsequent jobs (e.g. `SET retries 6;`,
+    /// `SET speculative true;`, `SET fault_plan 'fail:0@0;kill:2';`).
+    /// The value is kept as raw text; the executor interprets it per
+    /// option.
+    Set { key: String, value: String },
 }
 
 /// A parsed script.

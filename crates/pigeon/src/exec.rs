@@ -6,7 +6,7 @@ use std::fmt;
 use sh_core::ops;
 use sh_core::storage;
 use sh_core::{OpError, OpResult, SpatialFile};
-use sh_dfs::Dfs;
+use sh_dfs::{Dfs, FaultPlan};
 use sh_geom::{Point, Polygon, Record, Rect};
 use sh_trace::JobProfile;
 
@@ -757,6 +757,7 @@ impl Pigeon {
                     None => dumped.push("profile: statement ran no jobs".to_string()),
                 }
             }
+            Stmt::Set { key, value } => self.apply_set(key, value)?,
             Stmt::Store { src, path } => {
                 let lines = match self.lookup(src)? {
                     Value::Result(lines) => lines.clone(),
@@ -771,6 +772,68 @@ impl Pigeon {
                     w.write_line(line);
                 }
                 w.close();
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a `SET <option> <value>;` to the cluster's fault-tolerance
+    /// policy. Takes effect for every job launched afterwards.
+    fn apply_set(&mut self, key: &str, value: &str) -> Result<(), PigeonError> {
+        let num = |v: &str| {
+            v.parse::<u64>().map_err(|_| {
+                PigeonError::Type(format!(
+                    "SET {key} expects a non-negative integer, got {v:?}"
+                ))
+            })
+        };
+        let flag = |v: &str| match v.to_ascii_lowercase().as_str() {
+            "true" | "on" | "1" => Ok(true),
+            "false" | "off" | "0" => Ok(false),
+            _ => Err(PigeonError::Type(format!(
+                "SET {key} expects true/false, got {v:?}"
+            ))),
+        };
+        match key.to_ascii_lowercase().as_str() {
+            "retries" | "max_task_attempts" => {
+                let n = num(value)?.max(1) as usize;
+                self.dfs.update_ft_options(|ft| ft.max_task_attempts = n);
+            }
+            "blacklist_threshold" | "node_blacklist_threshold" => {
+                let n = num(value)?.max(1) as usize;
+                self.dfs
+                    .update_ft_options(|ft| ft.node_blacklist_threshold = n);
+            }
+            "worker_threads" => {
+                // 0 restores the default (available parallelism).
+                let n = num(value)? as usize;
+                let threads = if n == 0 { None } else { Some(n) };
+                self.dfs.update_ft_options(|ft| ft.worker_threads = threads);
+            }
+            "retry_backoff_ms" => {
+                let ms = num(value)?;
+                self.dfs.update_ft_options(|ft| ft.retry_backoff_ms = ms);
+            }
+            "speculative" | "speculative_execution" => {
+                let on = flag(value)?;
+                self.dfs
+                    .update_ft_options(|ft| ft.speculative_execution = on);
+            }
+            "speculation_threshold_ms" => {
+                let ms = num(value)?;
+                self.dfs
+                    .update_ft_options(|ft| ft.speculation_threshold_ms = ms);
+            }
+            "fault_plan" => {
+                let plan = FaultPlan::parse(value).map_err(PigeonError::Type)?;
+                self.dfs.update_ft_options(|ft| ft.fault_plan = plan);
+            }
+            other => {
+                return Err(PigeonError::Type(format!(
+                    "unknown SET option {other} (expected retries, blacklist_threshold, \
+                     worker_threads, retry_backoff_ms, speculative, \
+                     speculation_threshold_ms, or fault_plan)"
+                )))
             }
         }
         Ok(())
@@ -922,6 +985,65 @@ mod tests {
             "{:?}",
             out.last()
         );
+    }
+
+    #[test]
+    fn set_statements_adjust_fault_tolerance_options() {
+        let (dfs, _) = dfs_with_points();
+        run_script(
+            &dfs,
+            "SET retries 6;\n\
+             SET blacklist_threshold 2;\n\
+             SET worker_threads 3;\n\
+             SET speculative true;\n\
+             SET speculation_threshold_ms 99;\n\
+             SET retry_backoff_ms 0;\n\
+             SET fault_plan 'fail:0@0;kill:1';",
+        )
+        .unwrap();
+        let ft = dfs.ft_options();
+        assert_eq!(ft.max_task_attempts, 6);
+        assert_eq!(ft.node_blacklist_threshold, 2);
+        assert_eq!(ft.worker_threads, Some(3));
+        assert!(ft.speculative_execution);
+        assert_eq!(ft.speculation_threshold_ms, 99);
+        assert_eq!(ft.retry_backoff_ms, 0);
+        assert_eq!(ft.fault_plan.to_string(), "fail:0@0;kill:1");
+        // `worker_threads 0` restores auto; `fault_plan none` clears.
+        run_script(&dfs, "SET worker_threads 0;\nSET fault_plan none;").unwrap();
+        let ft = dfs.ft_options();
+        assert_eq!(ft.worker_threads, None);
+        assert!(ft.fault_plan.is_empty());
+        // Unknown options and malformed values are type errors.
+        assert!(matches!(
+            run_script(&dfs, "SET frobnicate 1;"),
+            Err(PigeonError::Type(_))
+        ));
+        assert!(matches!(
+            run_script(&dfs, "SET retries many;"),
+            Err(PigeonError::Type(_))
+        ));
+        assert!(matches!(
+            run_script(&dfs, "SET fault_plan 'explode:7';"),
+            Err(PigeonError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn injected_faults_show_up_in_profiles() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             SET retry_backoff_ms 0;\n\
+             SET fault_plan 'fail:0@0';\n\
+             PROFILE r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));",
+        )
+        .unwrap();
+        let text = out.join("\n");
+        assert!(text.contains("faults:"), "{text}");
+        assert!(text.contains("1 retries"), "{text}");
     }
 
     #[test]

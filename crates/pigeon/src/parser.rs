@@ -112,6 +112,18 @@ impl Parser {
             // The inner statement consumes its own terminating semicolon.
             return Ok(Stmt::Profile(Box::new(self.statement()?)));
         }
+        if first.eq_ignore_ascii_case("SET") {
+            let key = self.ident()?;
+            let value = match self.next()? {
+                TokenKind::Num(n) if n.fract() == 0.0 => (n as i64).to_string(),
+                TokenKind::Num(n) => n.to_string(),
+                TokenKind::Str(s) => s,
+                TokenKind::Ident(s) => s,
+                other => return Err(self.err(format!("expected a SET value, found {other}"))),
+            };
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Set { key, value });
+        }
         if first.eq_ignore_ascii_case("DUMP") {
             let src = self.ident()?;
             self.expect(&TokenKind::Semicolon)?;
@@ -373,6 +385,38 @@ mod tests {
             Stmt::Profile(inner) => assert!(matches!(**inner, Stmt::Dump { .. })),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn set_statements_parse() {
+        let s = parse(
+            "SET retries 6;\n\
+             set speculative true;\n\
+             SET fault_plan 'fail:0@0;kill:2';",
+        )
+        .unwrap();
+        assert_eq!(
+            s.stmts[0],
+            Stmt::Set {
+                key: "retries".into(),
+                value: "6".into()
+            }
+        );
+        assert_eq!(
+            s.stmts[1],
+            Stmt::Set {
+                key: "speculative".into(),
+                value: "true".into()
+            }
+        );
+        assert_eq!(
+            s.stmts[2],
+            Stmt::Set {
+                key: "fault_plan".into(),
+                value: "fail:0@0;kill:2".into()
+            }
+        );
+        assert!(parse("SET retries;").is_err());
     }
 
     #[test]

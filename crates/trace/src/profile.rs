@@ -100,6 +100,14 @@ pub struct JobProfile {
     pub dfs_bytes_written: u64,
     pub shuffle_pairs: u64,
     pub shuffle_bytes: u64,
+    /// Task re-attempts launched after failed attempts (map + reduce).
+    pub task_retries: u64,
+    /// Speculative duplicate attempts launched for stragglers.
+    pub speculative_launched: u64,
+    /// Speculative attempts that finished first and won their task.
+    pub speculative_won: u64,
+    /// Nodes blacklisted by the job scheduler after repeated failures.
+    pub nodes_blacklisted: u64,
     pub selectivity: Selectivity,
     /// Engine + user counters at job completion.
     pub counters: BTreeMap<String, u64>,
@@ -144,6 +152,10 @@ impl JobProfile {
         self.dfs_bytes_written += other.dfs_bytes_written;
         self.shuffle_pairs += other.shuffle_pairs;
         self.shuffle_bytes += other.shuffle_bytes;
+        self.task_retries += other.task_retries;
+        self.speculative_launched += other.speculative_launched;
+        self.speculative_won += other.speculative_won;
+        self.nodes_blacklisted += other.nodes_blacklisted;
         let s = &mut self.selectivity;
         let o = &other.selectivity;
         s.partitions_total += o.partitions_total;
@@ -219,6 +231,15 @@ impl JobProfile {
                 format_bytes(self.shuffle_bytes)
             ));
         }
+        if self.task_retries > 0 || self.speculative_launched > 0 || self.nodes_blacklisted > 0 {
+            out.push_str(&format!(
+                "  faults:   {} retries, {} speculative ({} won), {} nodes blacklisted\n",
+                self.task_retries,
+                self.speculative_launched,
+                self.speculative_won,
+                self.nodes_blacklisted
+            ));
+        }
         if !self.counters.is_empty() {
             let width = self
                 .counters
@@ -276,6 +297,27 @@ impl JobProfile {
                 Value::Obj(vec![
                     ("pairs".to_string(), Value::Int(self.shuffle_pairs as i128)),
                     ("bytes".to_string(), Value::Int(self.shuffle_bytes as i128)),
+                ]),
+            ),
+            (
+                "fault_tolerance".to_string(),
+                Value::Obj(vec![
+                    (
+                        "task_retries".to_string(),
+                        Value::Int(self.task_retries as i128),
+                    ),
+                    (
+                        "speculative_launched".to_string(),
+                        Value::Int(self.speculative_launched as i128),
+                    ),
+                    (
+                        "speculative_won".to_string(),
+                        Value::Int(self.speculative_won as i128),
+                    ),
+                    (
+                        "nodes_blacklisted".to_string(),
+                        Value::Int(self.nodes_blacklisted as i128),
+                    ),
                 ]),
             ),
             (
@@ -351,6 +393,13 @@ impl JobProfile {
         let shuffle = v.get("shuffle").ok_or("missing field 'shuffle'")?;
         profile.shuffle_pairs = req_u64(shuffle, "pairs")?;
         profile.shuffle_bytes = req_u64(shuffle, "bytes")?;
+        // Optional for profiles exported before fault tolerance existed.
+        if let Some(ft) = v.get("fault_tolerance") {
+            profile.task_retries = req_u64(ft, "task_retries")?;
+            profile.speculative_launched = req_u64(ft, "speculative_launched")?;
+            profile.speculative_won = req_u64(ft, "speculative_won")?;
+            profile.nodes_blacklisted = req_u64(ft, "nodes_blacklisted")?;
+        }
         let sel = v.get("selectivity").ok_or("missing field 'selectivity'")?;
         profile.selectivity = Selectivity {
             partitions_total: req_u64(sel, "partitions_total")?,
@@ -560,6 +609,10 @@ mod tests {
         p.dfs_bytes_written = 1_200;
         p.shuffle_pairs = 42;
         p.shuffle_bytes = 512;
+        p.task_retries = 3;
+        p.speculative_launched = 2;
+        p.speculative_won = 1;
+        p.nodes_blacklisted = 1;
         p.selectivity = Selectivity {
             partitions_total: 10,
             partitions_scanned: 2,
@@ -618,6 +671,26 @@ mod tests {
         assert!(text.contains("range.results"));
         assert!(text.contains("map-wave"));
         assert!(text.contains("shuffle"));
+        assert!(text.contains("3 retries, 2 speculative (1 won), 1 nodes blacklisted"));
+    }
+
+    #[test]
+    fn fault_free_profiles_omit_the_fault_line_and_parse_without_it() {
+        let mut p = sample_profile();
+        p.task_retries = 0;
+        p.speculative_launched = 0;
+        p.speculative_won = 0;
+        p.nodes_blacklisted = 0;
+        assert!(!p.render().contains("retries"));
+        // Profiles exported before the fault_tolerance block existed
+        // still parse (fields default to zero).
+        let json = p.to_json().replace(
+            "\"fault_tolerance\":{\"task_retries\":0,\"speculative_launched\":0,\"speculative_won\":0,\"nodes_blacklisted\":0},",
+            "",
+        );
+        assert!(!json.contains("fault_tolerance"), "surgery failed: {json}");
+        let back = JobProfile::from_json(&json).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

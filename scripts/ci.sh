@@ -16,4 +16,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos tests (fault injection)"
+cargo test -q --test fault_tolerance
+
+echo "==> chaos determinism: 10 iterations, identical results required"
+for i in $(seq 1 10); do
+  echo "  chaos iteration $i/10"
+  cargo test -q --test fault_tolerance chaos_runs_are_deterministic >/dev/null
+done
+
 echo "CI green."

@@ -1,0 +1,161 @@
+//! Chaos tests: injected task failures, node kills, and stragglers must
+//! never change query results — only the fault-tolerance counters. Every
+//! scenario runs the same seeded workload with and without faults and
+//! demands byte-identical output.
+
+use spatialhadoop::core::ops::range;
+use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::dfs::{ClusterConfig, Dfs, FaultPlan};
+use spatialhadoop::geom::{Point, Rect};
+use spatialhadoop::index::PartitionKind;
+use spatialhadoop::trace::JobProfile;
+use spatialhadoop::workload::{points, Distribution};
+
+const QUERY: [f64; 4] = [100_000.0, 100_000.0, 400_000.0, 400_000.0];
+
+/// Uploads a fixed-seed dataset, indexes it, applies the chaos knobs,
+/// and runs a range query. Returns the result lines (in output order —
+/// determinism matters, so no sorting), the query's aggregated profile,
+/// and the raw bytes of every output part file.
+fn run_range(chaos: impl FnOnce(&Dfs)) -> (Vec<String>, JobProfile, String) {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.retry_backoff_ms = 0;
+    let dfs = Dfs::new(cfg);
+    let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+    let pts = points(20_000, Distribution::Uniform, &uni, 7);
+    upload(&dfs, "/data/points", &pts).unwrap();
+    let file = build_index::<Point>(&dfs, "/data/points", "/idx/points", PartitionKind::Grid)
+        .unwrap()
+        .value;
+    // Faults arm only now: the index build above runs fault-free so
+    // every scenario queries the identical on-disk layout.
+    chaos(&dfs);
+    let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
+    let r = range::range_spatial::<Point>(&dfs, &file, &query, "/out/range").unwrap();
+    let lines: Vec<String> = r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+    let profile = r.profile("range");
+    let mut raw = String::new();
+    for part in dfs.list("/out/range/part-") {
+        raw.push_str(&dfs.read_to_string(&part).unwrap());
+    }
+    (lines, profile, raw)
+}
+
+fn baseline() -> (Vec<String>, JobProfile, String) {
+    run_range(|_| {})
+}
+
+#[test]
+fn task_that_fails_twice_still_yields_identical_output() {
+    let (base_lines, base_profile, base_raw) = baseline();
+    assert_eq!(base_profile.task_retries, 0, "baseline must be fault-free");
+    assert!(!base_lines.is_empty());
+
+    let (lines, profile, raw) = run_range(|dfs| {
+        dfs.update_ft_options(|ft| {
+            ft.fault_plan = FaultPlan::none().fail_task(0, 0).fail_task(0, 1);
+        });
+    });
+    assert_eq!(
+        profile.task_retries, 2,
+        "two injected failures, two retries"
+    );
+    assert_eq!(lines, base_lines, "results must not change under retries");
+    assert_eq!(raw, base_raw, "part files must be byte-identical");
+}
+
+#[test]
+fn node_killed_at_wave_boundary_is_blacklisted_and_output_unchanged() {
+    let (base_lines, _, base_raw) = baseline();
+
+    let (lines, profile, raw) = run_range(|dfs| {
+        dfs.update_ft_options(|ft| {
+            ft.node_blacklist_threshold = 1;
+            ft.fault_plan = FaultPlan::none().kill_node(0);
+        });
+    });
+    assert!(
+        profile.task_retries >= 1,
+        "tasks scheduled on the killed node must retry: {profile:?}"
+    );
+    assert_eq!(profile.nodes_blacklisted, 1, "the dead node is blacklisted");
+    assert_eq!(
+        lines, base_lines,
+        "results must not change under a node kill"
+    );
+    assert_eq!(raw, base_raw, "part files must be byte-identical");
+}
+
+#[test]
+fn speculative_duplicate_wins_and_output_unchanged() {
+    let (base_lines, _, base_raw) = baseline();
+
+    let t0 = std::time::Instant::now();
+    let (lines, profile, raw) = run_range(|dfs| {
+        dfs.update_ft_options(|ft| {
+            ft.speculative_execution = true;
+            ft.speculation_threshold_ms = 10;
+            // Speculation needs an idle worker while the straggler
+            // sleeps; don't let a 1-core machine shrink the pool.
+            ft.worker_threads = Some(4);
+            ft.fault_plan = FaultPlan::none().delay_task(0, 2_000);
+        });
+    });
+    assert!(profile.speculative_launched >= 1, "{profile:?}");
+    assert!(
+        profile.speculative_won >= 1,
+        "the undelayed backup must win: {profile:?}"
+    );
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(1_900),
+        "the cancelled straggler must not serve its full delay"
+    );
+    assert_eq!(
+        lines, base_lines,
+        "results must not change under speculation"
+    );
+    assert_eq!(raw, base_raw, "part files must be byte-identical");
+}
+
+#[test]
+fn pruning_statistics_survive_faults() {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.retry_backoff_ms = 0;
+    let dfs = Dfs::new(cfg);
+    let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+    let pts = points(20_000, Distribution::Uniform, &uni, 7);
+    upload(&dfs, "/data/points", &pts).unwrap();
+    let file = build_index::<Point>(&dfs, "/data/points", "/idx/points", PartitionKind::Grid)
+        .unwrap()
+        .value;
+    dfs.update_ft_options(|ft| {
+        ft.fault_plan = FaultPlan::none().fail_task(0, 0);
+    });
+    let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
+    let r = range::range_spatial::<Point>(&dfs, &file, &query, "/out/range").unwrap();
+    // The global-index pruning contract holds even when tasks retried.
+    let sel = r.selectivity();
+    assert!(sel.partitions_pruned > 0, "small query must prune: {sel:?}");
+    assert_eq!(
+        sel.partitions_scanned + sel.partitions_pruned,
+        file.partitions.len() as u64
+    );
+    assert_eq!(sel.records_emitted, r.value.len() as u64);
+    assert_eq!(r.profile("range").task_retries, 1);
+}
+
+#[test]
+fn chaos_runs_are_deterministic_across_processes_worth_of_state() {
+    // Same seeds + same fault plan = identical bytes, run twice from
+    // scratch (fresh DFS each time, fresh replica placement).
+    let chaos = |dfs: &Dfs| {
+        dfs.update_ft_options(|ft| {
+            ft.node_blacklist_threshold = 1;
+            ft.fault_plan = FaultPlan::none().kill_node(0).fail_task(1, 0);
+        });
+    };
+    let (lines_a, _, raw_a) = run_range(chaos);
+    let (lines_b, _, raw_b) = run_range(chaos);
+    assert_eq!(lines_a, lines_b);
+    assert_eq!(raw_a, raw_b);
+}
