@@ -1,12 +1,23 @@
 //! The spatial MapReduce layer: SpatialFileSplitter, SpatialRecordReader,
 //! and the reference-point duplicate-avoidance rule.
 
+use std::sync::Arc;
+
 use sh_dfs::{Dfs, DfsError};
 use sh_geom::{Point, Record, Rect};
 use sh_index::{owns_point, LocalRTree};
 use sh_mapreduce::InputSplit;
 
 use crate::catalog::SpatialFile;
+
+/// Sidecar path of a partition file: `.../part-NNNNN` →
+/// `.../_lidx-NNNNN`. `None` for paths that are not partition files
+/// (heap files, block-level splits) — those have no persisted index.
+pub fn local_index_path(part_path: &str) -> Option<String> {
+    let (dir, name) = part_path.rsplit_once('/')?;
+    let suffix = name.strip_prefix("part-")?;
+    Some(format!("{dir}/_lidx-{suffix}"))
+}
 
 /// SpatialFileSplitter: turns an indexed file into map-task splits, one
 /// per partition that passes the *filter function* — the mechanism every
@@ -82,6 +93,41 @@ impl SpatialRecordReader {
         let records = Self::records::<R>(data);
         let tree = LocalRTree::build(records.iter().map(|r| r.mbr()).collect());
         (records, tree)
+    }
+
+    /// Opens a partition for index-assisted processing through the
+    /// per-node cache: a hit returns the parsed records + local tree
+    /// without touching the text; a miss parses `data`, loads the
+    /// persisted `_lidx-NNNNN` sidecar when one exists (falling back to
+    /// an STR bulk-load for heap files or missing/corrupt sidecars), and
+    /// caches the result keyed by `path`. Returns the shared partition
+    /// and whether it was a cache hit.
+    pub fn open_indexed<R: Record>(
+        dfs: &Dfs,
+        path: &str,
+        data: &str,
+    ) -> (Arc<(Vec<R>, LocalRTree)>, bool) {
+        // Keyed by the partition path itself so the DFS's per-path
+        // invalidation (delete/overwrite) hits this entry.
+        if let Some(hit) = dfs.cache().get(path) {
+            if let Ok(part) = hit.downcast::<(Vec<R>, LocalRTree)>() {
+                return (part, true);
+            }
+        }
+        let records = Self::records::<R>(data);
+        let tree = local_index_path(path)
+            .filter(|p| dfs.exists(p))
+            .and_then(|p| dfs.read_to_string(&p).ok())
+            .and_then(|text| LocalRTree::from_text(&text).ok())
+            .filter(|t| t.len() == records.len())
+            .unwrap_or_else(|| LocalRTree::build(records.iter().map(|r| r.mbr()).collect()));
+        let part = Arc::new((records, tree));
+        // Accounted size: parsed records + tree rects dominate; the text
+        // itself is the floor.
+        let bytes =
+            (data.len() + part.0.len() * std::mem::size_of::<R>() + part.1.len() * 32) as u64;
+        dfs.cache().put(path, part.clone(), bytes);
+        (part, false)
     }
 }
 
@@ -171,6 +217,67 @@ mod tests {
         assert_eq!(tree.len(), 3);
         let hits = tree.query(&Rect::new(2.0, 3.0, 4.0, 5.0));
         assert_eq!(hits, vec![1]);
+    }
+
+    #[test]
+    fn local_index_path_derivation() {
+        assert_eq!(
+            local_index_path("/idx/part-00005").as_deref(),
+            Some("/idx/_lidx-00005")
+        );
+        assert_eq!(local_index_path("/idx/_master"), None);
+        assert_eq!(local_index_path("part-00001"), None); // no directory
+    }
+
+    #[test]
+    fn open_indexed_caches_and_respects_invalidation() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        dfs.write_string("/idx/part-00000", "1 2\n3 4\n5 6\n")
+            .unwrap();
+        let data = dfs.read_to_string("/idx/part-00000").unwrap();
+
+        let (part, hit) =
+            SpatialRecordReader::open_indexed::<Point>(&dfs, "/idx/part-00000", &data);
+        assert!(!hit, "first open is a miss");
+        assert_eq!(part.0.len(), 3);
+        assert_eq!(part.1.query(&Rect::new(2.0, 3.0, 4.0, 5.0)), vec![1]);
+
+        let (again, hit) =
+            SpatialRecordReader::open_indexed::<Point>(&dfs, "/idx/part-00000", &data);
+        assert!(hit, "second open is a hit");
+        assert!(Arc::ptr_eq(&part, &again), "hit returns the shared value");
+
+        // Overwrite: delete + create must drop the entry.
+        dfs.delete("/idx/part-00000");
+        dfs.write_string("/idx/part-00000", "7 8\n").unwrap();
+        let fresh = dfs.read_to_string("/idx/part-00000").unwrap();
+        let (part2, hit) =
+            SpatialRecordReader::open_indexed::<Point>(&dfs, "/idx/part-00000", &fresh);
+        assert!(!hit, "overwrite invalidates");
+        assert_eq!(part2.0.len(), 1);
+    }
+
+    #[test]
+    fn open_indexed_uses_persisted_sidecar() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        dfs.write_string("/idx/part-00001", "1 1\n9 9\n").unwrap();
+        let tree = LocalRTree::build(vec![
+            Rect::new(1.0, 1.0, 1.0, 1.0),
+            Rect::new(9.0, 9.0, 9.0, 9.0),
+        ]);
+        dfs.write_string("/idx/_lidx-00001", &tree.to_text())
+            .unwrap();
+        let data = dfs.read_to_string("/idx/part-00001").unwrap();
+        let (part, _) = SpatialRecordReader::open_indexed::<Point>(&dfs, "/idx/part-00001", &data);
+        assert_eq!(part.1.query(&Rect::new(0.0, 0.0, 5.0, 5.0)), vec![0]);
+
+        // A stale sidecar (wrong cardinality) falls back to a rebuild.
+        dfs.delete("/idx/part-00001");
+        dfs.write_string("/idx/part-00001", "1 1\n9 9\n5 5\n")
+            .unwrap();
+        let data = dfs.read_to_string("/idx/part-00001").unwrap();
+        let (part, _) = SpatialRecordReader::open_indexed::<Point>(&dfs, "/idx/part-00001", &data);
+        assert_eq!(part.1.len(), 3, "stale sidecar ignored");
     }
 
     #[test]

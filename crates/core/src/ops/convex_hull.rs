@@ -177,14 +177,13 @@ fn infeasible_arc_for_box(t: &Point, b: &Rect) -> Option<Arc> {
         // nothing is guaranteed — conservative empty arc.
         return None;
     }
-    let angles: Vec<f64> = b
+    // Minimal enclosing arc of the four corner directions: sort, the
+    // largest gap between consecutive angles delimits it.
+    let mut sorted: Vec<f64> = b
         .corners()
         .iter()
         .map(|c| (c.y - t.y).atan2(c.x - t.x))
         .collect();
-    // Minimal enclosing arc of the four corner directions: sort, the
-    // largest gap between consecutive angles delimits it.
-    let mut sorted = angles.clone();
     sorted.sort_by(f64::total_cmp);
     let mut best_gap = TAU - (sorted[sorted.len() - 1] - sorted[0]);
     let mut start = sorted[sorted.len() - 1];
@@ -239,7 +238,12 @@ impl Mapper for EnhancedHullMapper {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
-        let boxes = decode_rects(split.aux.as_deref().unwrap_or(""));
+        // The driver encoded the boxes, so decode failure is task-fatal
+        // corruption.
+        let boxes = decode_rects(split.aux.as_deref().unwrap_or(""))
+            .expect("corrupt partition-box aux payload");
+        let pruned_points = ctx.register_counter("hull.pruned.points");
+        let candidates = ctx.register_counter("hull.candidates");
         let points = SpatialRecordReader::records::<Point>(data);
         let hull = convex_hull(&points);
         let n = hull.len();
@@ -260,10 +264,10 @@ impl Mapper for EnhancedHullMapper {
                 }
             }
             if arcs_cover_circle(&arcs) {
-                ctx.counter("hull.pruned.points", 1);
+                ctx.inc(pruned_points, 1);
             } else {
                 ctx.output(t.to_line());
-                ctx.counter("hull.candidates", 1);
+                ctx.inc(candidates, 1);
             }
         }
     }
@@ -302,22 +306,14 @@ pub fn hull_enhanced(
         .map_only()?
         .run()?;
     // Driver merge over the few surviving candidates.
-    let candidates: Vec<Point> = job
-        .read_output(dfs)?
-        .iter()
-        .map(|l| Point::parse_line(l).map_err(OpError::from))
-        .collect::<Result<_, _>>()?;
+    let candidates: Vec<Point> = crate::codec::parse_output_records(&job.read_output(dfs)?)?;
     let value = convex_hull(&candidates);
     sel.records_emitted = value.len() as u64;
     Ok(OpResult::new(value, vec![job]).with_selectivity(sel))
 }
 
 fn hull_from_output(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<Point>, OpError> {
-    let pts: Vec<Point> = job
-        .read_output(dfs)?
-        .iter()
-        .map(|l| Point::parse_line(l).map_err(OpError::from))
-        .collect::<Result<_, _>>()?;
+    let pts: Vec<Point> = crate::codec::parse_output_records(&job.read_output(dfs)?)?;
     // The reducer already emitted hull order, but part files may split
     // it; recompute for a canonical result.
     Ok(convex_hull(&pts))

@@ -19,33 +19,10 @@ use sh_mapreduce::{
 };
 
 use crate::catalog::SpatialFile;
+use crate::codec::{decode_pair, write_pair};
 use crate::mrlayer::{reference_point, SpatialRecordReader};
 use crate::opresult::{OpError, OpResult};
 use sh_trace::Selectivity;
-
-fn format_pair(a: &Rect, b: &Rect) -> String {
-    format!(
-        "{} {} {} {} {} {} {} {}",
-        a.x1, a.y1, a.x2, a.y2, b.x1, b.y1, b.x2, b.y2
-    )
-}
-
-fn parse_pair(line: &str) -> Result<(Rect, Rect), OpError> {
-    let v: Vec<f64> = line
-        .split_ascii_whitespace()
-        .map(|t| {
-            t.parse()
-                .map_err(|_| OpError::Corrupt(format!("bad join pair: {line:?}")))
-        })
-        .collect::<Result<_, _>>()?;
-    if v.len() != 8 {
-        return Err(OpError::Corrupt(format!("bad join pair: {line:?}")));
-    }
-    Ok((
-        Rect::new(v[0], v[1], v[2], v[3]),
-        Rect::new(v[4], v[5], v[6], v[7]),
-    ))
-}
 
 // ------------------------------------------------------------------ SJMR
 
@@ -58,10 +35,11 @@ impl Mapper for SjmrMapper {
     type V = (u32, [f64; 4]);
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u64, (u32, [f64; 4])>) {
+        let replicated = ctx.register_counter("sjmr.replicated");
         for r in SpatialRecordReader::records::<Rect>(data) {
             for cell in self.grid.assign(&r) {
                 ctx.emit(cell as u64, (split.tag, [r.x1, r.y1, r.x2, r.y2]));
-                ctx.counter("sjmr.replicated", 1);
+                ctx.inc(replicated, 1);
             }
         }
     }
@@ -89,12 +67,15 @@ impl Reducer for SjmrReducer {
             }
         }
         let mut results = 0u64;
+        let mut line = String::with_capacity(80);
         plane_sweep_join_into(&left, &right, |i, j| {
             // Reference-point rule: only the grid cell owning the
             // bottom-left corner of the intersection reports the pair.
             if let Some(rp) = reference_point(&left[i], &right[j]) {
                 if owns_point(&cell, &rp, &universe) {
-                    ctx.output(format_pair(&left[i], &right[j]));
+                    line.clear();
+                    write_pair(&mut line, &left[i], &right[j]);
+                    ctx.output(line.clone());
                     results += 1;
                 }
             }
@@ -137,6 +118,7 @@ pub fn sjmr(
 // ------------------------------------------------------- distributed join
 
 struct DjMapper {
+    dfs: Dfs,
     dedup_left: bool,
     dedup_right: bool,
 }
@@ -146,9 +128,23 @@ impl Mapper for DjMapper {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        let cache_hits = ctx.register_counter("cache.hits");
+        let cache_misses = ctx.register_counter("cache.misses");
         let (left_text, right_text) = split.split_data(data);
-        let left = SpatialRecordReader::records::<Rect>(left_text);
-        let right = SpatialRecordReader::records::<Rect>(right_text);
+        // A partition typically appears in several overlapping pairs, so
+        // each side goes through the per-node cache independently.
+        let (path_a, path_b) = split
+            .path
+            .split_once('+')
+            .expect("dj split path is pathA+pathB");
+        let (left, left_hit) =
+            SpatialRecordReader::open_indexed::<Rect>(&self.dfs, path_a, left_text);
+        let (right, right_hit) =
+            SpatialRecordReader::open_indexed::<Rect>(&self.dfs, path_b, right_text);
+        for hit in [left_hit, right_hit] {
+            ctx.inc(if hit { cache_hits } else { cache_misses }, 1);
+        }
+        let (left, right) = (&left.0, &right.0);
         // aux carries: cellA(4) cellB(4) uniA(4) uniB(4)
         let aux: Vec<f64> = split
             .aux
@@ -162,7 +158,8 @@ impl Mapper for DjMapper {
         let uni_a = Rect::new(aux[8], aux[9], aux[10], aux[11]);
         let uni_b = Rect::new(aux[12], aux[13], aux[14], aux[15]);
         let mut results = 0u64;
-        plane_sweep_join_into(&left, &right, |i, j| {
+        let mut line = String::with_capacity(80);
+        plane_sweep_join_into(left, right, |i, j| {
             if let Some(rp) = reference_point(&left[i], &right[j]) {
                 if self.dedup_left && !owns_point(&cell_a, &rp, &uni_a) {
                     return;
@@ -170,7 +167,9 @@ impl Mapper for DjMapper {
                 if self.dedup_right && !owns_point(&cell_b, &rp, &uni_b) {
                     return;
                 }
-                ctx.output(format_pair(&left[i], &right[j]));
+                line.clear();
+                write_pair(&mut line, &left[i], &right[j]);
+                ctx.output(line.clone());
                 results += 1;
             }
         });
@@ -271,6 +270,7 @@ pub fn distributed_join(
     let mut job = JobBuilder::new(dfs, &format!("dj:{}:{}", a.dir, b.dir))
         .input_splits(splits)
         .mapper(DjMapper {
+            dfs: dfs.clone(),
             dedup_left: a.is_disjoint(),
             dedup_right: b.is_disjoint(),
         })
@@ -383,7 +383,7 @@ pub fn polygon_join(
 fn parse_output(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<(Rect, Rect)>, OpError> {
     job.read_output(dfs)?
         .iter()
-        .map(|l| parse_pair(l))
+        .map(|l| decode_pair(l))
         .collect()
 }
 
@@ -397,7 +397,10 @@ mod tests {
     use sh_workload::rects;
 
     fn canon(mut v: Vec<(Rect, Rect)>) -> Vec<String> {
-        let mut out: Vec<String> = v.drain(..).map(|(a, b)| format_pair(&a, &b)).collect();
+        let mut out: Vec<String> = v
+            .drain(..)
+            .map(|(a, b)| crate::codec::encode_pair(&a, &b))
+            .collect();
         out.sort();
         out.dedup();
         out
@@ -423,9 +426,16 @@ mod tests {
         let expected = expected_pairs(&left, &right);
         assert!(!expected.is_empty());
         // Exact multiset equality: reference point rule removed dups.
-        let mut got_lines: Vec<String> = got.value.iter().map(|(a, b)| format_pair(a, b)).collect();
+        let mut got_lines: Vec<String> = got
+            .value
+            .iter()
+            .map(|(a, b)| crate::codec::encode_pair(a, b))
+            .collect();
         got_lines.sort();
-        let mut exp_lines: Vec<String> = expected.iter().map(|(a, b)| format_pair(a, b)).collect();
+        let mut exp_lines: Vec<String> = expected
+            .iter()
+            .map(|(a, b)| crate::codec::encode_pair(a, b))
+            .collect();
         exp_lines.sort();
         assert_eq!(got_lines, exp_lines);
         assert!(

@@ -85,6 +85,7 @@ pub fn knn_hadoop(
 }
 
 struct KnnIndexMapper<R: Record> {
+    dfs: Dfs,
     q: Point,
     k: usize,
     _r: PhantomData<fn() -> R>,
@@ -94,10 +95,14 @@ impl<R: Record> Mapper for KnnIndexMapper<R> {
     type K = u8;
     type V = u8;
 
-    fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
-        let (_, tree) = SpatialRecordReader::with_index::<Point>(data);
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        // One cached open gives both the records and the local tree
+        // (previously this parsed the partition twice).
+        let (part, hit) = SpatialRecordReader::open_indexed::<Point>(&self.dfs, &split.path, data);
+        let h = ctx.register_counter(if hit { "cache.hits" } else { "cache.misses" });
+        ctx.inc(h, 1);
+        let (points, tree) = (&part.0, &part.1);
         // The local index answers the kNN directly (best-first search).
-        let points = SpatialRecordReader::records::<Point>(data);
         for (i, _) in tree.knn(&self.q, self.k) {
             ctx.output(points[i].to_line());
         }
@@ -139,6 +144,7 @@ pub fn knn_spatial(
         let job = JobBuilder::new(dfs, &format!("knn-spatial:{}:round{round}", file.dir))
             .input_splits(splits)
             .mapper(KnnIndexMapper::<Point> {
+                dfs: dfs.clone(),
                 q: *q,
                 k,
                 _r: PhantomData,
@@ -228,10 +234,7 @@ pub fn knn_spatial(
 }
 
 fn parse_points(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<Point>, OpError> {
-    job.read_output(dfs)?
-        .iter()
-        .map(|l| Point::parse_line(l).map_err(OpError::from))
-        .collect()
+    crate::codec::parse_output_records(&job.read_output(dfs)?)
 }
 
 #[cfg(test)]

@@ -30,17 +30,19 @@ impl<R: Record> Mapper for ScanMapper<R> {
     type V = u8;
 
     fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        let results = ctx.register_counter("range.results");
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
             let r = R::parse_line(line).expect("corrupt record");
             if r.mbr().intersects(&self.query) {
                 ctx.output(line.to_string());
-                ctx.counter("range.results", 1);
+                ctx.inc(results, 1);
             }
         }
     }
 }
 
 struct IndexedMapper<R: Record> {
+    dfs: Dfs,
     query: Rect,
     universe: Rect,
     dedup: bool,
@@ -54,21 +56,31 @@ impl<R: Record> Mapper for IndexedMapper<R> {
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
         let cell = split_cell(split);
-        let lines: Vec<&str> = data.lines().filter(|l| !l.trim().is_empty()).collect();
+        let results = ctx.register_counter("range.results");
+        let dup_skipped = ctx.register_counter("range.duplicates.skipped");
         let (records, hits) = if self.local_index {
-            let (records, tree) = SpatialRecordReader::with_index::<R>(data);
-            let hits = tree.query(&self.query);
-            (records, hits)
+            // Cached path: parsed records + persisted local tree, shared
+            // across queries over the same partition.
+            let (part, hit) = SpatialRecordReader::open_indexed::<R>(&self.dfs, &split.path, data);
+            let h = ctx.register_counter(if hit { "cache.hits" } else { "cache.misses" });
+            ctx.inc(h, 1);
+            let hits = part.1.query(&self.query);
+            (part, hits)
         } else {
-            // Ablation: linear scan of the partition.
+            // Ablation: linear scan of the partition, no cache.
             let records = SpatialRecordReader::records::<R>(data);
             let hits = (0..records.len())
                 .filter(|&i| records[i].mbr().intersects(&self.query))
                 .collect();
-            (records, hits)
+            (
+                std::sync::Arc::new((records, sh_index::LocalRTree::build(Vec::new()))),
+                hits,
+            )
         };
+        let mut line = String::with_capacity(48);
         for i in hits {
-            let mbr = records[i].mbr();
+            let r = &records.0[i];
+            let mbr = r.mbr();
             if self.dedup {
                 // Reference point of record ∩ query: exactly one replica
                 // holder owns it among the partitions overlapping both.
@@ -77,12 +89,14 @@ impl<R: Record> Mapper for IndexedMapper<R> {
                     .expect("R-tree reported an intersecting record");
                 let rp = inter.bottom_left();
                 if !owns_point(&cell, &rp, &self.universe) {
-                    ctx.counter("range.duplicates.skipped", 1);
+                    ctx.inc(dup_skipped, 1);
                     continue;
                 }
             }
-            ctx.output(lines[i].to_string());
-            ctx.counter("range.results", 1);
+            line.clear();
+            r.write_line(&mut line);
+            ctx.output(line.clone());
+            ctx.inc(results, 1);
         }
     }
 }
@@ -153,6 +167,7 @@ pub fn range_spatial_with<R: Record>(
     let job = JobBuilder::new(dfs, &format!("range-spatial:{}", file.dir))
         .input_splits(splits)
         .mapper(IndexedMapper::<R> {
+            dfs: dfs.clone(),
             query: *query,
             universe: file.universe,
             dedup: file.is_disjoint(),
@@ -171,10 +186,7 @@ pub fn range_spatial_with<R: Record>(
 }
 
 fn parse_output<R: Record>(dfs: &Dfs, job: &sh_mapreduce::JobOutcome) -> Result<Vec<R>, OpError> {
-    job.read_output(dfs)?
-        .iter()
-        .map(|l| R::parse_line(l).map_err(OpError::from))
-        .collect()
+    crate::codec::parse_output_records(&job.read_output(dfs)?)
 }
 
 #[cfg(test)]

@@ -155,16 +155,20 @@ impl Mapper for OutputSensitiveMapper {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
-        // aux = the dominance-power set of all *other* partitions.
-        let sky_c = decode_points(split.aux.as_deref().unwrap_or(""));
+        // aux = the dominance-power set of all *other* partitions. The
+        // driver encoded it, so decode failure is task-fatal corruption.
+        let sky_c = decode_points(split.aux.as_deref().unwrap_or(""))
+            .expect("corrupt dominance-power aux payload");
+        let flushed = ctx.register_counter("skyline.flushed");
+        let pruned = ctx.register_counter("skyline.pruned.points");
         let points = SpatialRecordReader::records::<Point>(data);
         let local = skyline(&points);
         for p in local {
             if not_dominated(&p, &sky_c) {
                 ctx.output(p.to_line());
-                ctx.counter("skyline.flushed", 1);
+                ctx.inc(flushed, 1);
             } else {
-                ctx.counter("skyline.pruned.points", 1);
+                ctx.inc(pruned, 1);
             }
         }
     }
@@ -221,11 +225,7 @@ pub fn skyline_output_sensitive(
 }
 
 fn sorted_points(dfs: &Dfs, job: &JobOutcome) -> Result<Vec<Point>, OpError> {
-    let mut pts: Vec<Point> = job
-        .read_output(dfs)?
-        .iter()
-        .map(|l| Point::parse_line(l).map_err(OpError::from))
-        .collect::<Result<_, _>>()?;
+    let mut pts: Vec<Point> = crate::codec::parse_output_records(&job.read_output(dfs)?)?;
     pts.sort_by(Point::cmp_xy);
     Ok(pts)
 }

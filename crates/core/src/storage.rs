@@ -91,11 +91,13 @@ impl<R: Record> Mapper for PartitionMapper<R> {
     type V = String;
 
     fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u64, String>) {
+        let records = ctx.register_counter("index.records");
+        let replicas = ctx.register_counter("index.replicas");
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
             let r = R::parse_line(line).expect("corrupt record while partitioning");
             let targets = self.gp.assign(&r.mbr());
-            ctx.counter("index.records", 1);
-            ctx.counter("index.replicas", targets.len() as u64);
+            ctx.inc(records, 1);
+            ctx.inc(replicas, targets.len() as u64);
             for pid in targets {
                 ctx.emit(pid as u64, line.to_string());
             }
@@ -116,12 +118,22 @@ impl<R: Record> Reducer for PartitionReducer<R> {
         let mut mbr = Rect::empty();
         let mut bytes = 0u64;
         let records = lines.len() as u64;
+        let mut rects = Vec::with_capacity(lines.len());
         for line in lines {
             let r = R::parse_line(&line).expect("corrupt record in partition reducer");
             mbr.expand(&r.mbr());
+            rects.push(r.mbr());
             bytes += line.len() as u64 + 1;
             ctx.side_output(&name, line);
         }
+        // Persist the partition's local R-tree next to its data so query
+        // jobs deserialize instead of re-running the STR bulk-load.
+        let tree = sh_index::LocalRTree::build(rects);
+        let sidecar = format!("_lidx-{pid:05}");
+        for line in tree.to_text().lines() {
+            ctx.side_output(&sidecar, line.to_string());
+        }
+        ctx.counter("index.local_trees", 1);
         ctx.side_output(
             "_partmeta",
             format!(
@@ -341,6 +353,30 @@ mod tests {
             assert!(cell.buffer(1e-9).contains_rect(&p.mbr_rect()));
         }
         assert_eq!(seen, pts.len() as u64);
+    }
+
+    #[test]
+    fn build_persists_local_index_sidecars() {
+        let (dfs, _) = setup(3000);
+        let built = build_index::<Point>(&dfs, "/heap", "/idx", PartitionKind::Grid).unwrap();
+        for p in &built.value.partitions {
+            let sidecar = crate::mrlayer::local_index_path(&p.path).unwrap();
+            let text = dfs
+                .read_to_string(&sidecar)
+                .unwrap_or_else(|_| panic!("missing sidecar {sidecar}"));
+            let tree = sh_index::LocalRTree::from_text(&text).unwrap();
+            assert_eq!(tree.len() as u64, p.records, "{sidecar}");
+            // The persisted tree answers exactly like a fresh bulk-load.
+            let data = dfs.read_to_string(&p.path).unwrap();
+            let records: Vec<Point> = sh_geom::text::parse_records(&data).unwrap();
+            let rebuilt = sh_index::LocalRTree::build(records.iter().map(|r| r.mbr()).collect());
+            let q = p.cell_rect();
+            assert_eq!(tree.query(&q), rebuilt.query(&q));
+        }
+        assert_eq!(
+            built.counter("index.local_trees"),
+            built.value.partitions.len() as u64
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! speculation policy it follows.
 
 mod block;
+mod cache;
 mod config;
 mod fault;
 mod metrics;
@@ -35,6 +36,7 @@ mod namespace;
 mod writer;
 
 pub use block::{BlockData, BlockId, BlockInfo};
+pub use cache::{BlockCache, CacheStats, DEFAULT_CACHE_BUDGET};
 pub use config::{ClusterConfig, NodeId};
 pub use fault::{FaultAction, FaultPlan, FtOptions};
 pub use metrics::DfsMetrics;

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use rand::prelude::*;
 
 use crate::block::{BlockData, BlockId, BlockInfo};
+use crate::cache::BlockCache;
 use crate::config::{ClusterConfig, NodeId};
 use crate::fault::FtOptions;
 use crate::metrics::DfsMetrics;
@@ -75,6 +76,7 @@ pub struct Dfs {
     inner: Arc<Mutex<Inner>>,
     metrics: Arc<DfsMetrics>,
     ft: Arc<Mutex<FtOptions>>,
+    cache: Arc<BlockCache>,
 }
 
 impl Dfs {
@@ -95,7 +97,14 @@ impl Dfs {
             })),
             metrics: Arc::new(DfsMetrics::default()),
             ft: Arc::new(Mutex::new(ft)),
+            cache: Arc::new(BlockCache::default()),
         }
+    }
+
+    /// The per-node block cache: parsed records and loaded local trees,
+    /// keyed by path. Shared across all clones of this handle.
+    pub fn cache(&self) -> &BlockCache {
+        &self.cache
     }
 
     /// The cluster configuration.
@@ -131,6 +140,8 @@ impl Dfs {
         let node = inner.next_writer_node % self.config.num_nodes;
         inner.next_writer_node += 1;
         drop(inner);
+        // A fresh file under an old path must not serve stale parses.
+        self.cache.invalidate(path);
         Ok(FileWriter::new(self.clone(), path.to_string(), node))
     }
 
@@ -142,6 +153,8 @@ impl Dfs {
                 inner.blocks.remove(&b);
             }
         }
+        drop(inner);
+        self.cache.invalidate(path);
     }
 
     /// True when `path` exists.
@@ -247,23 +260,29 @@ impl Dfs {
         (0..inner.alive.len()).filter(|&n| inner.alive[n]).collect()
     }
 
-    /// Marks a datanode dead: its replicas become unreadable.
+    /// Marks a datanode dead: its replicas become unreadable. Drops the
+    /// whole cache — the dead node's cached parses go with it, and what
+    /// survives must be re-read so chaos runs match uncached runs.
     pub fn kill_node(&self, node: NodeId) {
         let mut inner = self.inner.lock();
         if node < inner.alive.len() {
             inner.alive[node] = false;
         }
         let alive = inner.alive.iter().filter(|&&a| a).count();
+        drop(inner);
+        self.cache.clear();
         sh_trace::global().gauge_set("dfs.nodes.alive", alive as i64);
     }
 
-    /// Revives a datanode.
+    /// Revives a datanode (cache dropped; see [`Dfs::kill_node`]).
     pub fn revive_node(&self, node: NodeId) {
         let mut inner = self.inner.lock();
         if node < inner.alive.len() {
             inner.alive[node] = true;
         }
         let alive = inner.alive.iter().filter(|&&a| a).count();
+        drop(inner);
+        self.cache.clear();
         sh_trace::global().gauge_set("dfs.nodes.alive", alive as i64);
     }
 
@@ -320,6 +339,9 @@ impl Dfs {
             }
             inner.blocks.get_mut(&id).expect("block exists").replicas = live_replicas;
         }
+        drop(inner);
+        // Replica layout changed under the readers' feet: flush.
+        self.cache.clear();
         created
     }
 
@@ -531,6 +553,35 @@ mod tests {
         fs.write_string("/y/c", "3\n").unwrap();
         assert_eq!(fs.list("/x/"), vec!["/x/a".to_string(), "/x/b".to_string()]);
         assert_eq!(fs.list("/"), vec!["/x/a", "/x/b", "/y/c"]);
+    }
+
+    #[test]
+    fn cache_invalidated_by_namespace_and_node_events() {
+        let fs = dfs();
+        fs.write_string("/f", "1 2\n").unwrap();
+        let put = |v: u32| fs.cache().put("/f", Arc::new(v), 8);
+        let get = || fs.cache().get("/f").map(|v| *v.downcast::<u32>().unwrap());
+
+        put(1);
+        assert_eq!(get(), Some(1));
+        fs.delete("/f");
+        assert_eq!(get(), None, "delete must invalidate");
+
+        fs.write_string("/f", "3 4\n").unwrap();
+        put(2);
+        fs.delete("/f");
+        fs.write_string("/f", "5 6\n").unwrap();
+        assert_eq!(get(), None, "overwrite via create must invalidate");
+
+        put(3);
+        fs.kill_node(0);
+        assert_eq!(get(), None, "kill_node must flush the cache");
+        put(4);
+        fs.rereplicate();
+        assert_eq!(get(), None, "rereplicate must flush the cache");
+        put(5);
+        fs.revive_node(0);
+        assert_eq!(get(), None, "revive_node must flush the cache");
     }
 
     #[test]

@@ -135,6 +135,119 @@ impl LocalRTree {
         }
     }
 
+    /// Serializes the tree as text — the `_lidx-NNNNN` sidecar the index
+    /// builder writes next to each `part-NNNNN` so queries deserialize
+    /// instead of re-running STR. The DFS stores UTF-8 text, and `f64`'s
+    /// `Display` is shortest-roundtrip, so the encoding is exact:
+    ///
+    /// ```text
+    /// LRT 1 <num_rects> <num_nodes> <root|-1>
+    /// R <x1> <y1> <x2> <y2>                      (one per record MBR)
+    /// N <leaf:0|1> <x1> <y1> <x2> <y2> <entries...>  (one per node)
+    /// ```
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(self.rects.len() * 40 + self.nodes.len() * 64);
+        let root = self.root.map(|r| r as i64).unwrap_or(-1);
+        let _ = writeln!(s, "LRT 1 {} {} {root}", self.rects.len(), self.nodes.len());
+        for r in &self.rects {
+            let _ = writeln!(s, "R {} {} {} {}", r.x1, r.y1, r.x2, r.y2);
+        }
+        for n in &self.nodes {
+            let m = &n.mbr;
+            let _ = write!(
+                s,
+                "N {} {} {} {} {}",
+                u8::from(n.leaf),
+                m.x1,
+                m.y1,
+                m.x2,
+                m.y2
+            );
+            for &e in &n.entries {
+                let _ = write!(s, " {e}");
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Deserializes [`LocalRTree::to_text`] output; structural errors
+    /// (bad header, out-of-range indices, truncation) come back as
+    /// messages for the caller to wrap.
+    pub fn from_text(text: &str) -> Result<LocalRTree, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty local-index payload")?;
+        let h: Vec<&str> = header.split_ascii_whitespace().collect();
+        if h.len() != 5 || h[0] != "LRT" || h[1] != "1" {
+            return Err(format!("bad local-index header: {header:?}"));
+        }
+        let nr: usize = h[2].parse().map_err(|_| "bad rect count".to_string())?;
+        let nn: usize = h[3].parse().map_err(|_| "bad node count".to_string())?;
+        let root: i64 = h[4].parse().map_err(|_| "bad root index".to_string())?;
+        let mut rects = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let line = lines.next().ok_or("truncated local index: missing rect")?;
+            let f: Vec<&str> = line.split_ascii_whitespace().collect();
+            if f.len() != 5 || f[0] != "R" {
+                return Err(format!("bad rect line: {line:?}"));
+            }
+            let mut v = [0f64; 4];
+            for (slot, tok) in v.iter_mut().zip(&f[1..]) {
+                *slot = tok
+                    .parse()
+                    .map_err(|_| format!("bad rect line: {line:?}"))?;
+            }
+            rects.push(Rect::new(v[0], v[1], v[2], v[3]));
+        }
+        let mut nodes = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            let line = lines.next().ok_or("truncated local index: missing node")?;
+            let f: Vec<&str> = line.split_ascii_whitespace().collect();
+            if f.len() < 6 || f[0] != "N" {
+                return Err(format!("bad node line: {line:?}"));
+            }
+            let leaf = match f[1] {
+                "0" => false,
+                "1" => true,
+                _ => return Err(format!("bad node line: {line:?}")),
+            };
+            let mut v = [0f64; 4];
+            for (slot, tok) in v.iter_mut().zip(&f[2..6]) {
+                *slot = tok
+                    .parse()
+                    .map_err(|_| format!("bad node line: {line:?}"))?;
+            }
+            let limit = if leaf { nr } else { nn };
+            let mut entries = Vec::with_capacity(f.len() - 6);
+            for tok in &f[6..] {
+                let e: usize = tok
+                    .parse()
+                    .map_err(|_| format!("bad node line: {line:?}"))?;
+                if e >= limit {
+                    return Err(format!("node entry {e} out of range (< {limit})"));
+                }
+                entries.push(e);
+            }
+            nodes.push(Node {
+                mbr: Rect::new(v[0], v[1], v[2], v[3]),
+                entries,
+                leaf,
+            });
+        }
+        let root = if root < 0 {
+            None
+        } else if (root as usize) < nodes.len() {
+            Some(root as usize)
+        } else {
+            return Err(format!("root {root} out of range"));
+        };
+        if root.is_none() && !rects.is_empty() {
+            return Err("non-empty local index without a root".to_string());
+        }
+        Ok(LocalRTree { rects, nodes, root })
+    }
+
     /// The `k` records nearest to `p` (by MBR min-distance), best-first.
     /// Returns `(record index, distance)` sorted by ascending distance.
     pub fn knn(&self, p: &Point, k: usize) -> Vec<(usize, f64)> {
@@ -309,6 +422,40 @@ mod tests {
         for r in &rects {
             assert!(mbr.contains_rect(r));
         }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_query_results() {
+        for n in [0usize, 1, 33, 2000] {
+            let rects = random_rects(n, 7);
+            let tree = LocalRTree::build(rects);
+            let back = LocalRTree::from_text(&tree.to_text()).unwrap();
+            assert_eq!(back.len(), tree.len());
+            let q = Rect::new(100.0, 100.0, 600.0, 600.0);
+            assert_eq!(back.query(&q), tree.query(&q));
+            let p = Point::new(250.0, 250.0);
+            let a = tree.knn(&p, 10);
+            let b = back.knn(&p, 10);
+            assert_eq!(a.len(), b.len());
+            for ((ia, da), (ib, db)) in a.iter().zip(&b) {
+                assert_eq!(ia, ib);
+                assert_eq!(da.to_bits(), db.to_bits(), "distances must be exact");
+            }
+            // Re-serialization is byte-identical (determinism).
+            assert_eq!(back.to_text(), tree.to_text());
+        }
+    }
+
+    #[test]
+    fn corrupt_text_is_rejected() {
+        assert!(LocalRTree::from_text("").is_err());
+        assert!(LocalRTree::from_text("XYZ 1 0 0 -1").is_err());
+        assert!(LocalRTree::from_text("LRT 2 0 0 -1").is_err());
+        assert!(LocalRTree::from_text("LRT 1 1 0 -1").is_err()); // missing rect
+        assert!(LocalRTree::from_text("LRT 1 1 1 0\nR 0 0 1 1\nN 1 0 0 1 1 5").is_err()); // entry oob
+        assert!(LocalRTree::from_text("LRT 1 1 1 3\nR 0 0 1 1\nN 1 0 0 1 1 0").is_err()); // root oob
+        let tree = LocalRTree::build(random_rects(10, 8));
+        assert!(LocalRTree::from_text(&tree.to_text()).is_ok());
     }
 
     #[test]

@@ -1,6 +1,55 @@
 //! Task-side contexts handed to map and reduce functions.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Partition function of the shuffle: which reducer a key belongs to.
+/// Uses a fixed-algorithm hasher so runs are deterministic.
+pub(crate) fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % buckets as u64) as usize
+}
+
+/// Handle to a job counter registered once per task with
+/// [`MapContext::register_counter`]/[`ReduceContext::register_counter`].
+/// Incrementing through a handle is an integer-indexed add — no string
+/// allocation or map lookup in per-record loops.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterHandle(usize);
+
+/// Interned counters: names registered once, values addressed by index.
+#[derive(Default)]
+pub(crate) struct InternedCounters {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+}
+
+impl InternedCounters {
+    fn register(&mut self, name: &'static str) -> CounterHandle {
+        if let Some(i) = self.names.iter().position(|n| *n == name) {
+            return CounterHandle(i);
+        }
+        self.names.push(name);
+        self.values.push(0);
+        CounterHandle(self.names.len() - 1)
+    }
+
+    #[inline]
+    fn inc(&mut self, h: CounterHandle, delta: u64) {
+        self.values[h.0] += delta;
+    }
+
+    /// Folds the interned values into the dynamic counter map (task end).
+    fn fold_into(&self, counters: &mut BTreeMap<String, u64>) {
+        for (name, v) in self.names.iter().zip(&self.values) {
+            if *v > 0 {
+                *counters.entry((*name).to_string()).or_insert(0) += v;
+            }
+        }
+    }
+}
 
 /// Context given to a map function for one split.
 ///
@@ -12,27 +61,50 @@ use std::collections::BTreeMap;
 ///   (map-only jobs and the early-flush "pruning" steps of the enhanced
 ///   operations use this; in Hadoop terms, writing from the mapper to a
 ///   task-side output file committed with the job).
+///
+/// Emitted pairs are bucketed by reducer *at emit time*: each task hands
+/// the driver per-reducer vectors, so the shuffle is a concatenation
+/// instead of a single-threaded rehash of every pair.
 pub struct MapContext<K, V> {
-    pub(crate) emitted: Vec<(K, V)>,
+    pub(crate) buckets: Vec<Vec<(K, V)>>,
     pub(crate) output: Vec<String>,
     pub(crate) side: BTreeMap<String, Vec<String>>,
     pub(crate) counters: BTreeMap<String, u64>,
+    interned: InternedCounters,
 }
 
 impl<K, V> MapContext<K, V> {
-    pub(crate) fn new() -> Self {
+    /// `num_reducers` = 0 (map-only) still keeps one bucket so `emit`
+    /// stays callable.
+    pub(crate) fn new(num_reducers: usize) -> Self {
         MapContext {
-            emitted: Vec::new(),
+            buckets: (0..num_reducers.max(1)).map(|_| Vec::new()).collect(),
             output: Vec::new(),
             side: BTreeMap::new(),
             counters: BTreeMap::new(),
+            interned: InternedCounters::default(),
         }
     }
 
-    /// Emits an intermediate pair into the shuffle.
+    /// Emits an intermediate pair into the shuffle, routed to its
+    /// reducer's bucket immediately.
     #[inline]
-    pub fn emit(&mut self, key: K, value: V) {
-        self.emitted.push((key, value));
+    pub fn emit(&mut self, key: K, value: V)
+    where
+        K: Hash,
+    {
+        let b = if self.buckets.len() == 1 {
+            0
+        } else {
+            bucket_of(&key, self.buckets.len())
+        };
+        self.buckets[b].push((key, value));
+    }
+
+    /// Total pairs emitted so far (diagnostics/tests).
+    #[cfg(test)]
+    pub(crate) fn emitted_len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
     }
 
     /// Writes one line of final output from the map side.
@@ -53,6 +125,25 @@ impl<K, V> MapContext<K, V> {
     pub fn counter(&mut self, name: &str, delta: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
+
+    /// Registers a counter once; increments through the returned handle
+    /// are allocation-free (use in per-record loops).
+    pub fn register_counter(&mut self, name: &'static str) -> CounterHandle {
+        self.interned.register(name)
+    }
+
+    /// Adds to a counter registered with [`MapContext::register_counter`].
+    #[inline]
+    pub fn inc(&mut self, h: CounterHandle, delta: u64) {
+        self.interned.inc(h, delta);
+    }
+
+    /// All counters (dynamic + interned), consumed at task end.
+    pub(crate) fn take_counters(&mut self) -> BTreeMap<String, u64> {
+        let mut counters = std::mem::take(&mut self.counters);
+        self.interned.fold_into(&mut counters);
+        counters
+    }
 }
 
 /// Context given to a reduce function for one key group.
@@ -60,6 +151,7 @@ pub struct ReduceContext {
     pub(crate) output: Vec<String>,
     pub(crate) side: BTreeMap<String, Vec<String>>,
     pub(crate) counters: BTreeMap<String, u64>,
+    interned: InternedCounters,
 }
 
 impl ReduceContext {
@@ -68,6 +160,7 @@ impl ReduceContext {
             output: Vec::new(),
             side: BTreeMap::new(),
             counters: BTreeMap::new(),
+            interned: InternedCounters::default(),
         }
     }
 
@@ -87,6 +180,26 @@ impl ReduceContext {
     pub fn counter(&mut self, name: &str, delta: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
     }
+
+    /// Registers a counter once; increments through the returned handle
+    /// are allocation-free (use in per-record loops).
+    pub fn register_counter(&mut self, name: &'static str) -> CounterHandle {
+        self.interned.register(name)
+    }
+
+    /// Adds to a counter registered with
+    /// [`ReduceContext::register_counter`].
+    #[inline]
+    pub fn inc(&mut self, h: CounterHandle, delta: u64) {
+        self.interned.inc(h, delta);
+    }
+
+    /// All counters (dynamic + interned), consumed at task end.
+    pub(crate) fn take_counters(&mut self) -> BTreeMap<String, u64> {
+        let mut counters = std::mem::take(&mut self.counters);
+        self.interned.fold_into(&mut counters);
+        counters
+    }
 }
 
 #[cfg(test)]
@@ -95,12 +208,12 @@ mod tests {
 
     #[test]
     fn map_context_collects() {
-        let mut ctx: MapContext<u32, String> = MapContext::new();
+        let mut ctx: MapContext<u32, String> = MapContext::new(0);
         ctx.emit(1, "a".into());
         ctx.output("final".into());
         ctx.counter("c", 2);
         ctx.counter("c", 1);
-        assert_eq!(ctx.emitted.len(), 1);
+        assert_eq!(ctx.emitted_len(), 1);
         assert_eq!(ctx.output, vec!["final"]);
         assert_eq!(ctx.counters["c"], 3);
     }
@@ -112,5 +225,40 @@ mod tests {
         ctx.counter("k", 1);
         assert_eq!(ctx.output, vec!["x"]);
         assert_eq!(ctx.counters["k"], 1);
+    }
+
+    #[test]
+    fn emit_buckets_pairs_by_reducer_hash() {
+        let mut ctx: MapContext<u64, u64> = MapContext::new(4);
+        for k in 0..100u64 {
+            ctx.emit(k, k);
+        }
+        assert_eq!(ctx.emitted_len(), 100);
+        for (b, bucket) in ctx.buckets.iter().enumerate() {
+            for (k, _) in bucket {
+                assert_eq!(bucket_of(k, 4), b, "pair must sit in its hash bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn interned_counters_merge_with_dynamic_ones() {
+        let mut ctx: MapContext<u32, u32> = MapContext::new(1);
+        let h = ctx.register_counter("hot.records");
+        let h2 = ctx.register_counter("hot.records"); // same name, same slot
+        for _ in 0..1000 {
+            ctx.inc(h, 1);
+        }
+        ctx.inc(h2, 1);
+        ctx.counter("hot.records", 5);
+        ctx.counter("other", 2);
+        let counters = ctx.take_counters();
+        assert_eq!(counters["hot.records"], 1006);
+        assert_eq!(counters["other"], 2);
+
+        let mut rctx = ReduceContext::new();
+        let rh = rctx.register_counter("red.groups");
+        rctx.inc(rh, 3);
+        assert_eq!(rctx.take_counters()["red.groups"], 3);
     }
 }

@@ -3,7 +3,7 @@
 //! cost aggregation.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -98,7 +98,13 @@ pub fn read_output_dir(dfs: &Dfs, dir: &str) -> Result<Vec<String>, DfsError> {
 
 struct MapTaskResult<K, V> {
     cost: TaskCost,
-    pairs: Vec<(K, V)>,
+    /// Emitted pairs, already partitioned per reducer at emit time. The
+    /// driver's shuffle concatenates these bucket-wise in task order —
+    /// no per-pair rehash on the single-threaded path.
+    buckets: Vec<Vec<(K, V)>>,
+    /// Post-combiner pair count/bytes, tallied task-side.
+    shuffle_pairs: u64,
+    shuffle_bytes: u64,
     output: Vec<String>,
     side: BTreeMap<String, Vec<String>>,
     counters: BTreeMap<String, u64>,
@@ -661,15 +667,18 @@ where
     if let Some(reducer) = &job.reducer {
         let shuffle_span = span.child("shuffle");
         let r = job.num_reducers;
+        // Pairs were hashed into per-reducer buckets at emit time inside
+        // the (parallel) map tasks; the shuffle is now a bucket-wise
+        // concatenation in task order — same order the per-pair
+        // redistribution pass used to produce.
         let mut buckets: Vec<Vec<(M::K, M::V)>> = (0..r).map(|_| Vec::new()).collect();
         let mut shuffle_bytes = 0u64;
         let mut shuffle_pairs = 0u64;
         for res in map_results.iter_mut() {
-            for (k, v) in res.pairs.drain(..) {
-                shuffle_bytes += (job.pair_size)(&k, &v) as u64;
-                shuffle_pairs += 1;
-                let b = bucket_of(&k, r);
-                buckets[b].push((k, v));
+            shuffle_pairs += res.shuffle_pairs;
+            shuffle_bytes += res.shuffle_bytes;
+            for (b, bucket) in res.buckets.drain(..).enumerate() {
+                buckets[b].extend(bucket);
             }
         }
         counters.inc_static("shuffle.pairs", shuffle_pairs);
@@ -936,14 +945,33 @@ where
         }
         data.push_str(std::str::from_utf8(&bytes).expect("DFS stores UTF-8 text"));
     }
-    let mut ctx = MapContext::new();
+    let num_reducers = if job.reducer.is_some() {
+        job.num_reducers
+    } else {
+        0
+    };
+    let mut ctx = MapContext::new(num_reducers);
     let t0 = Instant::now();
     job.mapper.map(split, &data, &mut ctx);
-    let mut pairs = ctx.emitted;
+    let counters = ctx.take_counters();
+    let mut buckets = ctx.buckets;
     if let Some(combiner) = &job.combiner {
-        pairs = apply_combiner(pairs, combiner);
+        // Every pair of a key hashes to one bucket, so combining per
+        // bucket sees exactly the key groups the whole-task combine saw.
+        for bucket in buckets.iter_mut() {
+            let pairs = std::mem::take(bucket);
+            *bucket = apply_combiner(pairs, combiner);
+        }
     }
     let compute = t0.elapsed().as_secs_f64();
+    let mut shuffle_pairs = 0u64;
+    let mut shuffle_bytes = 0u64;
+    if job.reducer.is_some() {
+        for (k, v) in buckets.iter().flatten() {
+            shuffle_pairs += 1;
+            shuffle_bytes += (job.pair_size)(k, v) as u64;
+        }
+    }
     Ok(MapTaskResult {
         cost: TaskCost {
             node,
@@ -952,10 +980,12 @@ where
             output_bytes: 0,
             compute_seconds: compute,
         },
-        pairs,
+        buckets,
+        shuffle_pairs,
+        shuffle_bytes,
         output: ctx.output,
         side: ctx.side,
-        counters: ctx.counters,
+        counters,
     })
 }
 
@@ -1017,6 +1047,7 @@ where
         i = j;
     }
     let compute = t0.elapsed().as_secs_f64();
+    let counters = ctx.take_counters();
     (
         TaskCost {
             node,
@@ -1027,7 +1058,7 @@ where
         },
         ctx.output,
         ctx.side,
-        ctx.counters,
+        counters,
     )
 }
 
@@ -1040,14 +1071,6 @@ fn panic_message(panic: &Box<dyn std::any::Any + Send>) -> String {
     } else {
         "panic with non-string payload".to_string()
     }
-}
-
-/// Deterministic key → reducer bucket (fixed-seed hasher, stable across
-/// processes and runs).
-fn bucket_of<K: Hash>(key: &K, buckets: usize) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % buckets as u64) as usize
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ pub mod executor;
 pub mod job;
 pub mod split;
 
-pub use context::{MapContext, ReduceContext};
+pub use context::{CounterHandle, MapContext, ReduceContext};
 pub use cost::SimBreakdown;
 pub use counters::Counters;
 pub use executor::JobOutcome;

@@ -828,11 +828,15 @@ impl Pigeon {
                 let plan = FaultPlan::parse(value).map_err(PigeonError::Type)?;
                 self.dfs.update_ft_options(|ft| ft.fault_plan = plan);
             }
+            "cache_budget" | "cache_budget_bytes" => {
+                // Byte budget of the per-node block cache; 0 disables it.
+                self.dfs.cache().set_budget(num(value)?);
+            }
             other => {
                 return Err(PigeonError::Type(format!(
                     "unknown SET option {other} (expected retries, blacklist_threshold, \
                      worker_threads, retry_backoff_ms, speculative, \
-                     speculation_threshold_ms, or fault_plan)"
+                     speculation_threshold_ms, cache_budget, or fault_plan)"
                 )))
             }
         }
@@ -998,9 +1002,11 @@ mod tests {
              SET speculative true;\n\
              SET speculation_threshold_ms 99;\n\
              SET retry_backoff_ms 0;\n\
+             SET cache_budget 1048576;\n\
              SET fault_plan 'fail:0@0;kill:1';",
         )
         .unwrap();
+        assert_eq!(dfs.cache().budget(), 1_048_576);
         let ft = dfs.ft_options();
         assert_eq!(ft.max_task_attempts, 6);
         assert_eq!(ft.node_blacklist_threshold, 2);

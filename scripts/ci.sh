@@ -7,8 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace -- -D warnings (+ hot-path allocation lints)"
+cargo clippy --workspace -- -D warnings \
+  -D clippy::redundant_clone -D clippy::inefficient_to_string
 
 echo "==> cargo build --release"
 cargo build --release
@@ -24,5 +25,8 @@ for i in $(seq 1 10); do
   echo "  chaos iteration $i/10"
   cargo test -q --test fault_tolerance chaos_runs_are_deterministic >/dev/null
 done
+
+echo "==> hot-path benchmark smoke (warm must not be slower than cold)"
+cargo run -q -p sh-bench --release --bin hotpath -- /tmp/BENCH_hotpath_ci.json
 
 echo "CI green."

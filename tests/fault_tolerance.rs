@@ -145,6 +145,99 @@ fn pruning_statistics_survive_faults() {
 }
 
 #[test]
+fn cached_rerun_is_byte_identical_and_invalidated_by_churn() {
+    let mut cfg = ClusterConfig::small_for_tests();
+    cfg.retry_backoff_ms = 0;
+    let dfs = Dfs::new(cfg);
+    let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+    let pts = points(20_000, Distribution::Uniform, &uni, 7);
+    upload(&dfs, "/data/points", &pts).unwrap();
+    let file = build_index::<Point>(&dfs, "/data/points", "/idx/points", PartitionKind::Grid)
+        .unwrap()
+        .value;
+    let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
+    let run = |out: &str| {
+        let r = range::range_spatial::<Point>(&dfs, &file, &query, out).unwrap();
+        let mut raw = String::new();
+        for part in dfs.list(&format!("{out}/part-")) {
+            raw.push_str(&dfs.read_to_string(&part).unwrap());
+        }
+        (r, raw)
+    };
+
+    // The index build warms the cache as a side effect; clear it so the
+    // first query pays the full parse + sidecar-load path.
+    dfs.cache().clear();
+    let (cold, cold_raw) = run("/out/c0");
+    assert!(cold.counter("cache.misses") > 0, "cold run must miss");
+    assert_eq!(cold.counter("cache.hits"), 0, "cold run cannot hit");
+    assert!(dfs.cache().stats().resident_entries > 0);
+
+    // Warm rerun: served from cache, byte-identical output, and the hit
+    // counters surface in the job profile.
+    let (warm, warm_raw) = run("/out/c1");
+    assert!(warm.counter("cache.hits") > 0, "warm run must hit");
+    assert_eq!(warm.counter("cache.misses"), 0, "warm run must not miss");
+    assert_eq!(warm_raw, cold_raw, "warm rerun must be byte-identical");
+    assert_eq!(warm.profile("range").counters["cache.hits"], {
+        warm.counter("cache.hits")
+    });
+
+    // Node churn wipes the cache: post-rereplication reruns parse fresh
+    // replica bytes and must still match the cold output exactly.
+    dfs.kill_node(0);
+    assert_eq!(
+        dfs.cache().stats().resident_entries,
+        0,
+        "kill_node must clear the cache"
+    );
+    dfs.rereplicate();
+    dfs.revive_node(0);
+    let (churn, churn_raw) = run("/out/c2");
+    assert!(churn.counter("cache.misses") > 0, "churn run reparses");
+    assert_eq!(churn_raw, cold_raw, "rerun after churn must match cold");
+
+    // Overwriting one partition must not serve stale cached records:
+    // drop a record that the query returns and rerun.
+    let victim = file
+        .partitions
+        .iter()
+        .find(|p| p.mbr_rect().intersects(&query))
+        .expect("some partition overlaps the query");
+    let content = dfs.read_to_string(&victim.path).unwrap();
+    let dropped = content
+        .lines()
+        .find(|l| {
+            let mut it = l.split_whitespace();
+            let x: f64 = it.next().unwrap().parse().unwrap();
+            let y: f64 = it.next().unwrap().parse().unwrap();
+            query.contains_point(&Point::new(x, y))
+        })
+        .expect("the overlapping partition holds a matching record")
+        .to_string();
+    dfs.delete(&victim.path);
+    let mut w = dfs.create(&victim.path).unwrap();
+    for line in content.lines().filter(|l| *l != dropped) {
+        w.write_line(line);
+    }
+    w.close();
+    let (fresh, fresh_raw) = run("/out/c3");
+    assert!(
+        fresh.counter("cache.misses") >= 1,
+        "the overwritten partition must be reparsed"
+    );
+    assert_eq!(
+        fresh.value.len(),
+        cold.value.len() - 1,
+        "exactly the dropped record disappears"
+    );
+    assert!(
+        !fresh_raw.contains(&dropped),
+        "stale cached parse leaked the deleted record"
+    );
+}
+
+#[test]
 fn chaos_runs_are_deterministic_across_processes_worth_of_state() {
     // Same seeds + same fault plan = identical bytes, run twice from
     // scratch (fresh DFS each time, fresh replica placement).
