@@ -1,0 +1,45 @@
+//! CI guard: verify benchmark JSON artifacts are well-formed.
+//!
+//! ```text
+//! cargo run -p sh-bench --release --bin checkjson -- BENCH_*.json
+//! ```
+//!
+//! Each file must parse as JSON and carry a non-empty string under the
+//! `benchmark` key; any violation exits non-zero naming the file.
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: checkjson <file.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let value = match sh_trace::json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("FAIL {path}: malformed JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match value.get("benchmark").and_then(|b| b.as_str()) {
+            Some(name) if !name.is_empty() => println!("ok {path}: benchmark \"{name}\""),
+            _ => {
+                eprintln!("FAIL {path}: missing \"benchmark\" key");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Multi-job throughput benchmark: 16 mixed queries run serially, then
+//! concurrently through the [`JobScheduler`] against the same DFS.
+//!
+//! ```text
+//! cargo run -p sh-bench --release --bin throughput            # BENCH_throughput.json
+//! cargo run -p sh-bench --release --bin throughput -- out.json
+//! ```
+//!
+//! Always enforced: every concurrent result is byte-identical to its
+//! serial counterpart, and the cluster's worker-slot pool is never
+//! breached. The ≥1.5× concurrent-speedup gate only applies on machines
+//! with at least 4 cores — on fewer cores concurrency cannot beat the
+//! serial pass and the run is informational.
+
+use std::time::Instant;
+
+use sh_bench::{fresh_dfs, BLOCK};
+use sh_core::ops::{join, knn, range};
+use sh_core::storage::{build_index, upload};
+use sh_core::SpatialFile;
+use sh_dfs::Dfs;
+use sh_geom::{Point, Record, Rect};
+use sh_index::PartitionKind;
+use sh_mapreduce::{JobScheduler, SchedConfig};
+use sh_workload::{default_universe, points, rects, Distribution};
+
+const POINTS: usize = 100_000;
+const RECTS: usize = 20_000;
+const MIN_SPEEDUP: f64 = 1.5;
+const MIN_CORES: usize = 4;
+
+#[derive(Clone)]
+enum Query {
+    Range(Rect),
+    Knn(Point, usize),
+    Join,
+}
+
+impl Query {
+    fn kind(&self) -> &'static str {
+        match self {
+            Query::Range(_) => "range",
+            Query::Knn(..) => "knn",
+            Query::Join => "join",
+        }
+    }
+}
+
+/// Runs one query and returns its sorted result lines (sorted so serial
+/// and concurrent runs compare independent of output-part order).
+fn run_query(
+    dfs: &Dfs,
+    pfile: &SpatialFile,
+    fa: &SpatialFile,
+    fb: &SpatialFile,
+    q: &Query,
+    out: &str,
+) -> Vec<String> {
+    let mut lines: Vec<String> = match q {
+        Query::Range(rect) => range::range_spatial::<Point>(dfs, pfile, rect, out)
+            .expect("range query")
+            .value
+            .iter()
+            .map(Record::to_line)
+            .collect(),
+        Query::Knn(center, k) => knn::knn_spatial(dfs, pfile, center, *k, out)
+            .expect("knn query")
+            .value
+            .iter()
+            .map(Record::to_line)
+            .collect(),
+        Query::Join => join::distributed_join(dfs, fa, fb, out)
+            .expect("distributed join")
+            .value
+            .iter()
+            .map(|(a, b)| sh_core::codec::encode_pair(a, b))
+            .collect(),
+    };
+    lines.sort();
+    lines
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+
+    let uni = default_universe();
+    let dfs = fresh_dfs(BLOCK);
+    let pts = points(POINTS, Distribution::Uniform, &uni, 21);
+    upload(&dfs, "/tp/points", &pts).expect("upload points");
+    let pfile = build_index::<Point>(&dfs, "/tp/points", "/tp/ipoints", PartitionKind::StrPlus)
+        .expect("index points")
+        .value;
+    let ra = rects(RECTS, &uni, 400.0, 22);
+    let rb = rects(RECTS, &uni, 400.0, 23);
+    upload(&dfs, "/tp/ra", &ra).expect("upload ra");
+    upload(&dfs, "/tp/rb", &rb).expect("upload rb");
+    let fa = build_index::<Rect>(&dfs, "/tp/ra", "/tp/ira", PartitionKind::StrPlus)
+        .expect("index ra")
+        .value;
+    let fb = build_index::<Rect>(&dfs, "/tp/rb", "/tp/irb", PartitionKind::StrPlus)
+        .expect("index rb")
+        .value;
+
+    // 16 mixed queries: 10 range, 4 knn, 2 distributed joins.
+    let mut queries: Vec<Query> = rects(10, &uni, 60_000.0, 24)
+        .into_iter()
+        .map(Query::Range)
+        .collect();
+    for (i, p) in points(4, Distribution::Uniform, &uni, 25)
+        .into_iter()
+        .enumerate()
+    {
+        queries.push(Query::Knn(p, 8 + 8 * i));
+    }
+    queries.push(Query::Join);
+    queries.push(Query::Join);
+
+    // Warm the cache untimed so serial and concurrent phases both run
+    // the steady-state hot path.
+    for (i, q) in queries.iter().enumerate() {
+        run_query(&dfs, &pfile, &fa, &fb, q, &format!("/tp/warm/{i}"));
+    }
+
+    let t0 = Instant::now();
+    let serial: Vec<Vec<String>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| run_query(&dfs, &pfile, &fa, &fb, q, &format!("/tp/serial/{i}")))
+        .collect();
+    let serial_secs = t0.elapsed().as_secs_f64();
+
+    let sched = JobScheduler::new(
+        &dfs,
+        SchedConfig {
+            max_in_flight: 8,
+            ..SchedConfig::default()
+        },
+    );
+    let t0 = Instant::now();
+    let handles: Vec<_> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            let (pfile, fa, fb, q) = (pfile.clone(), fa.clone(), fb.clone(), q.clone());
+            sched
+                .submit(q.kind(), move |dfs| {
+                    run_query(dfs, &pfile, &fa, &fb, &q, &format!("/tp/conc/{i}"))
+                })
+                .expect("submit")
+        })
+        .collect();
+    let concurrent: Vec<Vec<String>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("job result"))
+        .collect();
+    let concurrent_secs = t0.elapsed().as_secs_f64();
+
+    // Hard gate 1: identical results regardless of scheduling.
+    for (i, (s, c)) in serial.iter().zip(&concurrent).enumerate() {
+        assert_eq!(
+            s,
+            c,
+            "query {i} ({}) diverged under concurrency",
+            queries[i].kind()
+        );
+    }
+    // Hard gate 2: the global slot pool bounded task concurrency.
+    let (slots, peak) = (dfs.slots().total(), dfs.slots().peak());
+    assert!(
+        peak <= slots,
+        "slot pool breached: peak {peak} > total {slots}"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let speedup = serial_secs / concurrent_secs;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"throughput\",\n");
+    json.push_str(&format!(
+        "  \"workload\": {{\"points\": {POINTS}, \"rects_per_side\": {RECTS}, \"jobs\": {}, \"mix\": {{\"range\": 10, \"knn\": 4, \"join\": 2}}}},\n",
+        queries.len()
+    ));
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"slots\": {slots},\n"));
+    json.push_str(&format!("  \"slot_peak\": {peak},\n"));
+    json.push_str("  \"max_in_flight\": 8,\n");
+    json.push_str(&format!("  \"serial_secs\": {serial_secs:.6},\n"));
+    json.push_str(&format!("  \"concurrent_secs\": {concurrent_secs:.6},\n"));
+    json.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    json.push_str(&format!(
+        "  \"speedup_gate\": {{\"min_speedup\": {MIN_SPEEDUP}, \"min_cores\": {MIN_CORES}, \"enforced\": {}}}\n",
+        cores >= MIN_CORES
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+
+    println!(
+        "throughput: {} jobs, serial {serial_secs:.3}s, concurrent {concurrent_secs:.3}s, \
+         speedup {speedup:.2}x on {cores} core(s), slot peak {peak}/{slots}",
+        queries.len()
+    );
+    println!("wrote {out_path}");
+
+    if cores >= MIN_CORES && speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: concurrent speedup {speedup:.2}x below {MIN_SPEEDUP}x on {cores} cores");
+        std::process::exit(1);
+    }
+}

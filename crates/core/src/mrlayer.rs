@@ -114,6 +114,10 @@ impl SpatialRecordReader {
                 return (part, true);
             }
         }
+        // `data` was read before this point; if a concurrent job
+        // invalidates the path (overwrite, node kill) while we parse,
+        // the epoch check below drops the stale insert.
+        let epoch = dfs.cache().epoch();
         let records = Self::records::<R>(data);
         let tree = local_index_path(path)
             .filter(|p| dfs.exists(p))
@@ -126,7 +130,7 @@ impl SpatialRecordReader {
         // itself is the floor.
         let bytes =
             (data.len() + part.0.len() * std::mem::size_of::<R>() + part.1.len() * 32) as u64;
-        dfs.cache().put(path, part.clone(), bytes);
+        dfs.cache().put_at(path, part.clone(), bytes, epoch);
         (part, false)
     }
 }

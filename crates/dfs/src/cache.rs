@@ -37,6 +37,10 @@ struct CacheInner {
     entries: HashMap<String, Entry>,
     total_bytes: u64,
     tick: u64,
+    /// Tick of the last wholesale [`BlockCache::clear`].
+    cleared_at: u64,
+    /// Tick each key was last individually invalidated at.
+    invalidated_at: HashMap<String, u64>,
 }
 
 /// Snapshot of cache effectiveness counters.
@@ -48,6 +52,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to stay under the byte budget.
     pub evictions: u64,
+    /// [`BlockCache::put_at`] calls dropped because the key was
+    /// invalidated (or the cache cleared) after the caller read the
+    /// underlying bytes — stale parses that must not be installed.
+    pub stale_puts: u64,
     /// Bytes currently resident.
     pub resident_bytes: u64,
     /// Entries currently resident.
@@ -122,6 +130,38 @@ impl BlockCache {
         found
     }
 
+    /// Logical clock for [`BlockCache::put_at`]: capture before reading
+    /// the bytes a parse is derived from; any invalidation of the key
+    /// (or wholesale clear) after this point makes the parse stale.
+    pub fn epoch(&self) -> u64 {
+        self.inner.lock().tick
+    }
+
+    /// Race-safe insert for values parsed from bytes read at `epoch`
+    /// (see [`BlockCache::epoch`]): the insert is dropped when the key
+    /// was invalidated — or the whole cache cleared — after the capture,
+    /// so a concurrent job's node kill or file overwrite can never be
+    /// shadowed by a stale parse that was already in flight. The check
+    /// and the insert happen under one lock.
+    pub fn put_at(&self, key: &str, value: Arc<dyn Any + Send + Sync>, bytes: u64, epoch: u64) {
+        let budget = *self.budget.lock();
+        if bytes > budget {
+            return;
+        }
+        let inner = self.inner.lock();
+        let stale =
+            inner.cleared_at > epoch || inner.invalidated_at.get(key).is_some_and(|&at| at > epoch);
+        if stale {
+            drop(inner);
+            let mut stats = self.stats.lock();
+            stats.stale_puts += 1;
+            drop(stats);
+            sh_trace::global().counter_add("dfs.cache.stale_puts", 1);
+            return;
+        }
+        self.insert_locked(inner, key, value, bytes, budget);
+    }
+
     /// Inserts (or replaces) `key`, then evicts least-recently-used
     /// entries until the budget holds. Values larger than the whole
     /// budget are not cached.
@@ -130,7 +170,18 @@ impl BlockCache {
         if bytes > budget {
             return;
         }
-        let mut inner = self.inner.lock();
+        let inner = self.inner.lock();
+        self.insert_locked(inner, key, value, bytes, budget);
+    }
+
+    fn insert_locked(
+        &self,
+        mut inner: parking_lot::MutexGuard<'_, CacheInner>,
+        key: &str,
+        value: Arc<dyn Any + Send + Sync>,
+        bytes: u64,
+        budget: u64,
+    ) {
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner
@@ -151,9 +202,14 @@ impl BlockCache {
         self.publish_gauges();
     }
 
-    /// Drops one key (file deleted or overwritten).
+    /// Drops one key (file deleted or overwritten). Also advances the
+    /// key's invalidation tick so in-flight [`BlockCache::put_at`] calls
+    /// that read the old bytes are rejected.
     pub fn invalidate(&self, key: &str) {
         let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.invalidated_at.insert(key.to_string(), tick);
         if let Some(e) = inner.entries.remove(key) {
             inner.total_bytes -= e.bytes;
             drop(inner);
@@ -161,9 +217,15 @@ impl BlockCache {
         }
     }
 
-    /// Drops everything (node membership or replica layout changed).
+    /// Drops everything (node membership or replica layout changed) and
+    /// advances the clear tick, staling every in-flight
+    /// [`BlockCache::put_at`].
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
+        inner.tick += 1;
+        inner.cleared_at = inner.tick;
+        // The wholesale tick supersedes all per-key records.
+        inner.invalidated_at.clear();
         inner.entries.clear();
         inner.total_bytes = 0;
         drop(inner);
@@ -272,6 +334,37 @@ mod tests {
         c.clear();
         assert!(c.get("/b").is_none());
         assert_eq!(c.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn stale_put_after_invalidate_is_dropped() {
+        let c = BlockCache::new(1000);
+        let epoch = c.epoch();
+        // Another job overwrites the file after our bytes were read...
+        c.invalidate("/a");
+        // ...so the in-flight parse must not be installed.
+        c.put_at("/a", arc(1), 100, epoch);
+        assert!(c.get("/a").is_none());
+        assert_eq!(c.stats().stale_puts, 1);
+        // A parse started after the invalidation is fine.
+        let epoch = c.epoch();
+        c.put_at("/a", arc(2), 100, epoch);
+        assert_eq!(get_u32(&c, "/a"), Some(2));
+    }
+
+    #[test]
+    fn stale_put_after_clear_is_dropped() {
+        let c = BlockCache::new(1000);
+        let epoch = c.epoch();
+        c.clear(); // node kill mid-read
+        c.put_at("/a", arc(1), 100, epoch);
+        assert!(c.get("/a").is_none());
+        assert_eq!(c.stats().stale_puts, 1);
+        // Unrelated keys invalidated before the capture don't stale it.
+        c.invalidate("/other");
+        let epoch = c.epoch();
+        c.put_at("/a", arc(3), 100, epoch);
+        assert_eq!(get_u32(&c, "/a"), Some(3));
     }
 
     #[test]

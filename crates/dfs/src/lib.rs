@@ -33,6 +33,7 @@ mod config;
 mod fault;
 mod metrics;
 mod namespace;
+mod slots;
 mod writer;
 
 pub use block::{BlockData, BlockId, BlockInfo};
@@ -41,4 +42,5 @@ pub use config::{ClusterConfig, NodeId};
 pub use fault::{FaultAction, FaultPlan, FtOptions};
 pub use metrics::DfsMetrics;
 pub use namespace::{Dfs, DfsError, FileStat};
+pub use slots::{SlotLease, SlotPool};
 pub use writer::FileWriter;

@@ -13,6 +13,7 @@ use crate::cache::BlockCache;
 use crate::config::{ClusterConfig, NodeId};
 use crate::fault::FtOptions;
 use crate::metrics::DfsMetrics;
+use crate::slots::SlotPool;
 use crate::writer::FileWriter;
 
 /// Errors surfaced by the DFS API.
@@ -77,6 +78,7 @@ pub struct Dfs {
     metrics: Arc<DfsMetrics>,
     ft: Arc<Mutex<FtOptions>>,
     cache: Arc<BlockCache>,
+    slots: Arc<SlotPool>,
 }
 
 impl Dfs {
@@ -85,6 +87,7 @@ impl Dfs {
         let alive = vec![true; config.num_nodes];
         let rng = StdRng::seed_from_u64(config.placement_seed);
         let ft = config.ft_options();
+        let slots = default_slot_count(ft.worker_threads);
         Dfs {
             config: Arc::new(config),
             inner: Arc::new(Mutex::new(Inner {
@@ -98,6 +101,7 @@ impl Dfs {
             metrics: Arc::new(DfsMetrics::default()),
             ft: Arc::new(Mutex::new(ft)),
             cache: Arc::new(BlockCache::default()),
+            slots: Arc::new(SlotPool::new(slots)),
         }
     }
 
@@ -105,6 +109,14 @@ impl Dfs {
     /// keyed by path. Shared across all clones of this handle.
     pub fn cache(&self) -> &BlockCache {
         &self.cache
+    }
+
+    /// The cluster's global worker-slot pool: every task attempt of
+    /// every concurrent job leases a slot here before it runs, so the
+    /// cluster's concurrency is capped at the slot count no matter how
+    /// many jobs are in flight.
+    pub fn slots(&self) -> &Arc<SlotPool> {
+        &self.slots
     }
 
     /// The cluster configuration.
@@ -119,9 +131,17 @@ impl Dfs {
     }
 
     /// Adjusts the fault-tolerance policy in place (Pigeon `SET ...`,
-    /// chaos tests installing a [`crate::FaultPlan`]).
+    /// chaos tests installing a [`crate::FaultPlan`]). A change to
+    /// `worker_threads` resizes the global slot pool to match.
     pub fn update_ft_options(&self, f: impl FnOnce(&mut FtOptions)) {
-        f(&mut self.ft.lock());
+        let mut ft = self.ft.lock();
+        let before = ft.worker_threads;
+        f(&mut ft);
+        let after = ft.worker_threads;
+        drop(ft);
+        if before != after {
+            self.slots.set_total(default_slot_count(after));
+        }
     }
 
     /// The I/O counters.
@@ -377,6 +397,18 @@ impl Dfs {
         drop(inner);
         self.metrics.record_write(len);
     }
+}
+
+/// Slot-pool size for a `worker_threads` setting: the configured count,
+/// or every core when unset.
+fn default_slot_count(worker_threads: Option<usize>) -> usize {
+    worker_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
 }
 
 /// HDFS-shaped placement: first replica on the writer, the rest on

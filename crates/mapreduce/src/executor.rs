@@ -406,12 +406,20 @@ impl<'a, T: Send> WaveRunner<'a, T> {
             span.attr("speculative", true);
         }
         // Deterministic backoff before re-attempts: attempt `a` waits
-        // `a * backoff` (speculative backups start immediately).
+        // `a * backoff` (speculative backups start immediately). The
+        // backoff is queueing, not work — it runs before the slot lease
+        // so a backing-off retry doesn't occupy cluster capacity.
         if attempt > 0 && !speculative && self.opts.retry_backoff_ms > 0 {
             std::thread::sleep(Duration::from_millis(
                 self.opts.retry_backoff_ms * attempt as u64,
             ));
         }
+        // Every attempt — first runs, retries, speculative backups —
+        // executes under a lease from the cluster-wide slot pool, so N
+        // concurrent jobs never run more attempts than the cluster has
+        // slots. A straggler serves its injected delay holding its slot
+        // (a slow node's slot is busy, not free).
+        let slot = self.dfs.slots().acquire();
         // Injected straggler delay, in cancellable slices: when the
         // speculative backup wins meanwhile, the delayed loser aborts
         // instead of sleeping out its full handicap.
@@ -459,6 +467,9 @@ impl<'a, T: Send> WaveRunner<'a, T> {
             }))
         };
         span.finish();
+        // Release the slot before settling: settle is pure bookkeeping
+        // and the freed slot may unblock another job's attempt.
+        drop(slot);
         self.settle(task, node, speculative, verdict, span.elapsed());
     }
 
@@ -535,18 +546,13 @@ impl<'a, T: Send> WaveRunner<'a, T> {
     }
 }
 
-/// Worker-thread count for a wave: the configured pool size (default:
-/// every core), never more than the task count — plus one slot of
-/// headroom for speculative backups.
-fn wave_threads(opts: &FtOptions, n_tasks: usize) -> usize {
-    let pool = opts
-        .worker_threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        })
-        .max(1);
+/// Worker-thread count for a wave: the cluster's global slot-pool size,
+/// never more than the task count — plus one slot of headroom for
+/// speculative backups. Threads beyond the pool would only block on
+/// slot leases, so there is no point spawning them; attempts themselves
+/// are additionally capped by the shared pool at execution time.
+fn wave_threads(dfs: &Dfs, opts: &FtOptions, n_tasks: usize) -> usize {
+    let pool = dfs.slots().total().max(1);
     let headroom = usize::from(opts.speculative_execution);
     pool.min(n_tasks.saturating_add(headroom).max(1))
 }
@@ -609,7 +615,7 @@ where
             &assignments,
             replicas,
         );
-        let outcome = runner.run(wave_threads(&opts, n_tasks), |task, node| {
+        let outcome = runner.run(wave_threads(&dfs, &opts, n_tasks), |task, node| {
             run_map_task(&job, task, node).map_err(JobError::Dfs)
         });
         map_span.finish();
@@ -718,7 +724,7 @@ where
             &reduce_assignments,
             vec![Vec::new(); r],
         );
-        let outcome = runner.run(wave_threads(&opts, r), |task, _node| {
+        let outcome = runner.run(wave_threads(&dfs, &opts, r), |task, _node| {
             Ok(run_reduce_task::<M, R>(
                 reducer,
                 &buckets_ref[task],
@@ -1729,11 +1735,19 @@ mod tests {
         let mut lines = outcome.read_output(&fs).unwrap();
         lines.sort();
         assert!(lines.contains(&"common 1000".to_string()));
+        // The wave sizes its thread count from the global slot pool:
+        // this Dfs was built with worker_threads = 1, so one worker.
+        let opts = fs.ft_options();
+        assert_eq!(wave_threads(&fs, &opts, 1_000), 1);
         // And the default is uncapped available_parallelism (regression:
         // the pool used to be hard-capped at 8 threads).
-        let opts = fs.ft_options();
-        let auto = wave_threads(&opts, 1_000);
+        let auto_fs = Dfs::new(chaos_config());
+        let auto = wave_threads(&auto_fs, &auto_fs.ft_options(), 1_000);
         let cores = std::thread::available_parallelism().unwrap().get();
         assert_eq!(auto, cores.min(1_000));
+        // Resizing worker_threads at runtime resizes the pool.
+        fs.update_ft_options(|ft| ft.worker_threads = Some(3));
+        assert_eq!(fs.slots().total(), 3);
+        assert_eq!(wave_threads(&fs, &fs.ft_options(), 1_000), 3);
     }
 }

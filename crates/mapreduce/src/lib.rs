@@ -27,6 +27,7 @@ pub mod cost;
 pub mod counters;
 pub mod executor;
 pub mod job;
+pub mod scheduler;
 pub mod split;
 
 pub use context::{CounterHandle, MapContext, ReduceContext};
@@ -34,4 +35,7 @@ pub use cost::SimBreakdown;
 pub use counters::Counters;
 pub use executor::JobOutcome;
 pub use job::{Job, JobBuilder, JobError, Mapper, NoReducer, Reducer};
+pub use scheduler::{
+    JobHandle, JobInfo, JobScheduler, JobState, SchedConfig, SchedError, SchedPolicy,
+};
 pub use split::InputSplit;

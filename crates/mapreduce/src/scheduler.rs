@@ -1,0 +1,728 @@
+//! Multi-job scheduler: concurrent job submission over one shared DFS.
+//!
+//! The JobTracker half that [`crate::executor`] lacks: callers submit
+//! closures that run jobs and get a [`JobHandle`] back; the scheduler
+//! admits up to a configured number of jobs at a time (FIFO or
+//! fair-share across tenants), bounds its queue (admission control —
+//! submissions beyond the cap are rejected, which is the back-pressure
+//! signal), and relies on the cluster's global
+//! [`SlotPool`](sh_dfs::SlotPool) to cap *task* concurrency: admitting
+//! four jobs on a four-slot cluster runs four task attempts at a time,
+//! not 4 × slots.
+//!
+//! Observability: `sched.submitted` / `sched.admitted` /
+//! `sched.rejected` / `sched.completed` / `sched.failed` counters, the
+//! `sched.queue.depth` gauge, and the `sched.wait.micros` histogram
+//! (enqueue → admission) in the global trace registry. Per-job profiles
+//! stay per-job — each submitted closure returns its own result, so
+//! nothing is aggregated across tenants.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use sh_dfs::Dfs;
+
+/// Queueing policy for admission order.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// Strict submission order.
+    #[default]
+    Fifo,
+    /// Pick the queued job whose tenant has the fewest running jobs
+    /// (ties broken by submission order) — one chatty tenant cannot
+    /// starve the rest.
+    FairShare,
+}
+
+impl SchedPolicy {
+    /// Parses `fifo` / `fair` (Pigeon `SET sched_policy`).
+    pub fn parse(text: &str) -> Result<SchedPolicy, String> {
+        match text.trim().to_ascii_lowercase().as_str() {
+            "fifo" => Ok(SchedPolicy::Fifo),
+            "fair" | "fairshare" | "fair-share" => Ok(SchedPolicy::FairShare),
+            other => Err(format!("unknown scheduling policy '{other}' (fifo|fair)")),
+        }
+    }
+}
+
+impl fmt::Display for SchedPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedPolicy::Fifo => write!(f, "fifo"),
+            SchedPolicy::FairShare => write!(f, "fair"),
+        }
+    }
+}
+
+/// Admission-control knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Jobs running concurrently (task concurrency is separately capped
+    /// by the cluster slot pool).
+    pub max_in_flight: usize,
+    /// Queued (admitted-but-waiting) jobs before submissions are
+    /// rejected with [`SchedError::QueueFull`].
+    pub queue_cap: usize,
+    /// Admission order.
+    pub policy: SchedPolicy,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            max_in_flight: 4,
+            queue_cap: 64,
+            policy: SchedPolicy::Fifo,
+        }
+    }
+}
+
+/// Submission/join errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchedError {
+    /// The queue is at its cap — back off and resubmit.
+    QueueFull,
+    /// The scheduler shut down before the job ran.
+    Shutdown,
+    /// The job's closure panicked (payload message attached).
+    JobPanicked(String),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::QueueFull => write!(f, "scheduler queue is full"),
+            SchedError::Shutdown => write!(f, "scheduler shut down before the job ran"),
+            SchedError::JobPanicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Lifecycle of a submitted job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed,
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobState::Queued => write!(f, "queued"),
+            JobState::Running => write!(f, "running"),
+            JobState::Done => write!(f, "done"),
+            JobState::Failed => write!(f, "failed"),
+        }
+    }
+}
+
+/// One row of [`JobScheduler::jobs`].
+#[derive(Clone, Debug)]
+pub struct JobInfo {
+    pub id: u64,
+    pub name: String,
+    pub tenant: String,
+    pub state: JobState,
+}
+
+/// What a job body hands back: whether it succeeded, plus a deferred
+/// delivery action that sends the result to the [`JobHandle`]. Delivery
+/// runs *after* the scheduler's completion bookkeeping so a caller that
+/// observes `join()` also observes the final [`JobState`].
+type JobVerdict = (bool, Box<dyn FnOnce() + Send>);
+
+/// Type-erased job body: runs the user closure and returns its verdict.
+type JobFn = Box<dyn FnOnce(&Dfs) -> JobVerdict + Send>;
+
+struct Pending {
+    id: u64,
+    tenant: String,
+    job: JobFn,
+    enqueued: Instant,
+}
+
+#[derive(Clone)]
+struct JobRecord {
+    name: String,
+    tenant: String,
+    state: JobState,
+}
+
+struct SchedState {
+    queue: VecDeque<Pending>,
+    running: usize,
+    running_per_tenant: BTreeMap<String, usize>,
+    /// Jobs ever admitted per tenant — fair-share's history term, so
+    /// tenants round-robin even when nothing is running at pick time.
+    admitted_per_tenant: BTreeMap<String, u64>,
+    jobs: BTreeMap<u64, JobRecord>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    dfs: Dfs,
+    cfg: SchedConfig,
+    state: Mutex<SchedState>,
+    /// Signalled on job completion and shutdown (drain/wait paths).
+    cv: Condvar,
+}
+
+/// Handle to a submitted job; [`JobHandle::join`] blocks for the result.
+pub struct JobHandle<T> {
+    /// Scheduler-assigned job id (stable across the scheduler's life).
+    pub id: u64,
+    rx: mpsc::Receiver<Result<T, SchedError>>,
+}
+
+impl<T> JobHandle<T> {
+    /// Blocks until the job finishes and returns its result. A closed
+    /// channel means the job was discarded by shutdown.
+    pub fn join(self) -> Result<T, SchedError> {
+        self.rx.recv().unwrap_or(Err(SchedError::Shutdown))
+    }
+
+    /// Non-blocking poll: `None` while the job is still queued/running.
+    pub fn try_join(&self) -> Option<Result<T, SchedError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(SchedError::Shutdown)),
+        }
+    }
+}
+
+/// The scheduler (see module docs). Cheaply cloneable; all clones share
+/// one queue.
+#[derive(Clone)]
+pub struct JobScheduler {
+    inner: Arc<Inner>,
+}
+
+impl JobScheduler {
+    /// Creates a scheduler over `dfs` with the given admission config.
+    pub fn new(dfs: &Dfs, cfg: SchedConfig) -> JobScheduler {
+        JobScheduler {
+            inner: Arc::new(Inner {
+                dfs: dfs.clone(),
+                cfg,
+                state: Mutex::new(SchedState {
+                    queue: VecDeque::new(),
+                    running: 0,
+                    running_per_tenant: BTreeMap::new(),
+                    admitted_per_tenant: BTreeMap::new(),
+                    jobs: BTreeMap::new(),
+                    next_id: 0,
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// The admission config this scheduler was built with.
+    pub fn config(&self) -> SchedConfig {
+        self.inner.cfg
+    }
+
+    /// Submits a job under the default tenant. The closure runs on a
+    /// scheduler thread against the shared DFS; its task waves lease
+    /// worker slots from the cluster-wide pool like every other job's.
+    pub fn submit<T, F>(&self, name: &str, f: F) -> Result<JobHandle<T>, SchedError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&Dfs) -> T + Send + 'static,
+    {
+        self.submit_as("default", name, f)
+    }
+
+    /// Submits a job on behalf of `tenant` (fair-share balances across
+    /// tenants; FIFO ignores them).
+    pub fn submit_as<T, F>(
+        &self,
+        tenant: &str,
+        name: &str,
+        f: F,
+    ) -> Result<JobHandle<T>, SchedError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&Dfs) -> T + Send + 'static,
+    {
+        let registry = sh_trace::global();
+        registry.counter_add("sched.submitted", 1);
+        let (tx, rx) = mpsc::channel();
+        let job: JobFn = Box::new(move |dfs: &Dfs| {
+            let verdict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(dfs)));
+            let (ok, result) = match verdict {
+                Ok(v) => (true, Ok(v)),
+                Err(panic) => (false, Err(SchedError::JobPanicked(panic_text(&panic)))),
+            };
+            // A dropped handle is fine — the job still ran.
+            let deliver = Box::new(move || {
+                let _ = tx.send(result);
+            });
+            (ok, deliver as Box<dyn FnOnce() + Send>)
+        });
+        let mut st = self.inner.state.lock().expect("scheduler poisoned");
+        if st.shutdown {
+            registry.counter_add("sched.rejected", 1);
+            return Err(SchedError::Shutdown);
+        }
+        if st.queue.len() >= self.inner.cfg.queue_cap {
+            registry.counter_add("sched.rejected", 1);
+            return Err(SchedError::QueueFull);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            JobRecord {
+                name: name.to_string(),
+                tenant: tenant.to_string(),
+                state: JobState::Queued,
+            },
+        );
+        st.queue.push_back(Pending {
+            id,
+            tenant: tenant.to_string(),
+            job,
+            enqueued: Instant::now(),
+        });
+        registry.gauge_set("sched.queue.depth", st.queue.len() as i64);
+        self.inner.pump(st);
+        Ok(JobHandle { id, rx })
+    }
+
+    /// Snapshot of every job this scheduler has seen, by id.
+    pub fn jobs(&self) -> Vec<JobInfo> {
+        let st = self.inner.state.lock().expect("scheduler poisoned");
+        st.jobs
+            .iter()
+            .map(|(&id, r)| JobInfo {
+                id,
+                name: r.name.clone(),
+                tenant: r.tenant.clone(),
+                state: r.state,
+            })
+            .collect()
+    }
+
+    /// State of one job, if it exists.
+    pub fn job_state(&self, id: u64) -> Option<JobState> {
+        let st = self.inner.state.lock().expect("scheduler poisoned");
+        st.jobs.get(&id).map(|r| r.state)
+    }
+
+    /// Jobs currently queued (not yet admitted).
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("scheduler poisoned")
+            .queue
+            .len()
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> usize {
+        self.inner.state.lock().expect("scheduler poisoned").running
+    }
+
+    /// Blocks until every queued and running job has finished.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().expect("scheduler poisoned");
+        while st.running > 0 || !st.queue.is_empty() {
+            st = self.inner.cv.wait(st).expect("scheduler poisoned");
+        }
+    }
+
+    /// Rejects future submissions and discards queued jobs (their
+    /// handles observe [`SchedError::Shutdown`]); running jobs finish.
+    pub fn shutdown(&self) {
+        let mut st = self.inner.state.lock().expect("scheduler poisoned");
+        st.shutdown = true;
+        let dropped: Vec<Pending> = st.queue.drain(..).collect();
+        for p in &dropped {
+            if let Some(r) = st.jobs.get_mut(&p.id) {
+                r.state = JobState::Failed;
+            }
+        }
+        sh_trace::global().gauge_set("sched.queue.depth", 0);
+        drop(st);
+        // Dropping the pending closures drops their result senders.
+        drop(dropped);
+        self.inner.cv.notify_all();
+    }
+}
+
+impl Inner {
+    /// Admits queued jobs while capacity allows; called with the state
+    /// lock held (and consumes it — admission spawns threads outside).
+    fn pump(self: &Arc<Self>, mut st: std::sync::MutexGuard<'_, SchedState>) {
+        let registry = sh_trace::global();
+        let mut spawn = Vec::new();
+        while st.running < self.cfg.max_in_flight {
+            let Some(idx) = pick_next(&st, self.cfg.policy) else {
+                break;
+            };
+            let pending = st.queue.remove(idx).expect("index from pick_next");
+            st.running += 1;
+            *st.running_per_tenant
+                .entry(pending.tenant.clone())
+                .or_insert(0) += 1;
+            *st.admitted_per_tenant
+                .entry(pending.tenant.clone())
+                .or_insert(0) += 1;
+            if let Some(r) = st.jobs.get_mut(&pending.id) {
+                r.state = JobState::Running;
+            }
+            registry.counter_add("sched.admitted", 1);
+            registry.observe(
+                "sched.wait.micros",
+                pending.enqueued.elapsed().as_micros() as u64,
+            );
+            spawn.push(pending);
+        }
+        registry.gauge_set("sched.queue.depth", st.queue.len() as i64);
+        drop(st);
+        for pending in spawn {
+            let inner = Arc::clone(self);
+            std::thread::spawn(move || {
+                let (ok, deliver) = (pending.job)(&inner.dfs);
+                let registry = sh_trace::global();
+                registry.counter_add(
+                    if ok {
+                        "sched.completed"
+                    } else {
+                        "sched.failed"
+                    },
+                    1,
+                );
+                let mut st = inner.state.lock().expect("scheduler poisoned");
+                st.running -= 1;
+                if let Some(n) = st.running_per_tenant.get_mut(&pending.tenant) {
+                    *n = n.saturating_sub(1);
+                }
+                if let Some(r) = st.jobs.get_mut(&pending.id) {
+                    r.state = if ok { JobState::Done } else { JobState::Failed };
+                }
+                inner.cv.notify_all();
+                inner.pump(st);
+                // Deliver only after the bookkeeping above: a joiner
+                // that sees the result also sees the final job state.
+                deliver();
+            });
+        }
+    }
+}
+
+/// Index of the next queue entry to admit under `policy`.
+fn pick_next(st: &SchedState, policy: SchedPolicy) -> Option<usize> {
+    if st.queue.is_empty() {
+        return None;
+    }
+    match policy {
+        SchedPolicy::Fifo => Some(0),
+        SchedPolicy::FairShare => {
+            // Fewest running jobs for the tenant, then least historical
+            // usage (admissions so far), then submission order —
+            // min_by_key keeps the first minimum, so ties are FIFO.
+            st.queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| {
+                    let running = st.running_per_tenant.get(&p.tenant).copied().unwrap_or(0);
+                    let admitted = st.admitted_per_tenant.get(&p.tenant).copied().unwrap_or(0);
+                    (running, admitted)
+                })
+                .map(|(i, _)| i)
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_text(panic: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn dfs() -> Dfs {
+        Dfs::new(sh_dfs::ClusterConfig::small_for_tests())
+    }
+
+    #[test]
+    fn submit_and_join_returns_the_closure_result() {
+        let fs = dfs();
+        let sched = JobScheduler::new(&fs, SchedConfig::default());
+        let h = sched
+            .submit("write", |dfs| {
+                dfs.write_string("/sched/a", "hello\n").unwrap();
+                42u64
+            })
+            .unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+        assert!(fs.exists("/sched/a"));
+        assert_eq!(sched.job_state(0), Some(JobState::Done));
+    }
+
+    #[test]
+    fn max_in_flight_bounds_concurrent_jobs() {
+        let fs = dfs();
+        let cfg = SchedConfig {
+            max_in_flight: 2,
+            ..SchedConfig::default()
+        };
+        let sched = JobScheduler::new(&fs, cfg);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                sched
+                    .submit(&format!("j{i}"), move |_| {
+                        let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(10));
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "admission cap violated");
+    }
+
+    #[test]
+    fn queue_cap_rejects_with_queue_full() {
+        let fs = dfs();
+        let cfg = SchedConfig {
+            max_in_flight: 1,
+            queue_cap: 1,
+            ..SchedConfig::default()
+        };
+        let sched = JobScheduler::new(&fs, cfg);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = sched
+            .submit("blocker", move |_| {
+                gate_rx.recv().ok();
+            })
+            .unwrap();
+        // Give the blocker time to be admitted, freeing the queue.
+        while sched.running() == 0 {
+            std::thread::yield_now();
+        }
+        let queued = sched.submit("queued", |_| {}).unwrap();
+        assert!(matches!(
+            sched.submit("overflow", |_| {}),
+            Err(SchedError::QueueFull)
+        ));
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        queued.join().unwrap();
+    }
+
+    #[test]
+    fn fair_share_interleaves_tenants() {
+        let fs = dfs();
+        let cfg = SchedConfig {
+            max_in_flight: 1,
+            queue_cap: 64,
+            policy: SchedPolicy::FairShare,
+        };
+        let sched = JobScheduler::new(&fs, cfg);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        // Hold the single in-flight slot while the queue fills so
+        // admission order is decided by the policy, not arrival timing.
+        let blocker = sched
+            .submit_as("x", "gate", move |_| {
+                gate_rx.recv().ok();
+            })
+            .unwrap();
+        let mut handles = Vec::new();
+        for (tenant, name) in [("a", "a1"), ("a", "a2"), ("a", "a3"), ("b", "b1")] {
+            let order = Arc::clone(&order);
+            handles.push(
+                sched
+                    .submit_as(tenant, name, move |_| {
+                        order.lock().unwrap().push(name.to_string());
+                    })
+                    .unwrap(),
+            );
+        }
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock().unwrap().clone();
+        // With zero running for both tenants, ties go to submission
+        // order (a1), then tenant b's b1 must not wait behind all of
+        // tenant a's backlog.
+        assert_eq!(order.len(), 4);
+        let pos_b = order.iter().position(|n| n == "b1").unwrap();
+        assert!(
+            pos_b <= 1,
+            "fair share must admit b1 before a's backlog drains: {order:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_job_reports_and_scheduler_survives() {
+        let fs = dfs();
+        let sched = JobScheduler::new(&fs, SchedConfig::default());
+        let h = sched
+            .submit("boom", |_| -> u32 { panic!("job exploded") })
+            .unwrap();
+        match h.join() {
+            Err(SchedError::JobPanicked(msg)) => assert!(msg.contains("job exploded")),
+            other => panic!("expected JobPanicked, got {other:?}"),
+        }
+        assert_eq!(sched.job_state(0), Some(JobState::Failed));
+        // The scheduler still admits new work.
+        let h = sched.submit("after", |_| 7u32).unwrap();
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn shutdown_discards_queued_jobs() {
+        let fs = dfs();
+        let cfg = SchedConfig {
+            max_in_flight: 1,
+            ..SchedConfig::default()
+        };
+        let sched = JobScheduler::new(&fs, cfg);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = sched
+            .submit("blocker", move |_| {
+                gate_rx.recv().ok();
+            })
+            .unwrap();
+        while sched.running() == 0 {
+            std::thread::yield_now();
+        }
+        let queued = sched.submit("never-runs", |_| 1u8).unwrap();
+        sched.shutdown();
+        assert_eq!(queued.join(), Err(SchedError::Shutdown));
+        assert!(matches!(
+            sched.submit("late", |_| 2u8),
+            Err(SchedError::Shutdown)
+        ));
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn drain_waits_for_everything() {
+        let fs = dfs();
+        let sched = JobScheduler::new(&fs, SchedConfig::default());
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            let done = Arc::clone(&done);
+            sched
+                .submit(&format!("d{i}"), move |_| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        sched.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 6);
+        assert_eq!(sched.queue_depth(), 0);
+        assert_eq!(sched.running(), 0);
+    }
+
+    #[test]
+    fn real_mapreduce_jobs_share_the_slot_pool() {
+        let mut cfg = sh_dfs::ClusterConfig::small_for_tests();
+        cfg.worker_threads = Some(2);
+        let fs = Dfs::new(cfg);
+        let mut w = fs.create("/in").unwrap();
+        for i in 0..2000 {
+            w.write_line(&format!("w{} common", i % 10));
+        }
+        w.close();
+        let sched = JobScheduler::new(&fs, SchedConfig::default());
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                sched
+                    .submit(&format!("wc{i}"), move |dfs| {
+                        use crate::context::{MapContext, ReduceContext};
+                        use crate::job::{JobBuilder, Mapper, Reducer};
+                        use crate::split::InputSplit;
+                        struct M;
+                        impl Mapper for M {
+                            type K = String;
+                            type V = u64;
+                            fn map(
+                                &self,
+                                _s: &InputSplit,
+                                data: &str,
+                                ctx: &mut MapContext<String, u64>,
+                            ) {
+                                for t in data.split_whitespace() {
+                                    ctx.emit(t.to_string(), 1);
+                                }
+                            }
+                        }
+                        struct R;
+                        impl Reducer for R {
+                            type K = String;
+                            type V = u64;
+                            fn reduce(&self, k: &String, vs: Vec<u64>, ctx: &mut ReduceContext) {
+                                ctx.output(format!("{k} {}", vs.iter().sum::<u64>()));
+                            }
+                        }
+                        JobBuilder::new(dfs, "wc")
+                            .input_file("/in")
+                            .unwrap()
+                            .mapper(M)
+                            .reducer(R, 2)
+                            .output(&format!("/out-{i}"))
+                            .build()
+                            .unwrap()
+                            .run()
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let mut outputs = Vec::new();
+        for h in handles {
+            let outcome = h.join().unwrap();
+            let mut lines = outcome.read_output(&fs).unwrap();
+            lines.sort();
+            outputs.push(lines);
+        }
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+        assert!(outputs[0].contains(&"common 2000".to_string()));
+        // Three concurrent jobs on a two-slot cluster never ran more
+        // than two task attempts at once.
+        assert!(
+            fs.slots().peak() <= 2,
+            "slot pool breached: peak {}",
+            fs.slots().peak()
+        );
+    }
+}

@@ -127,6 +127,16 @@ pub enum Stmt {
     /// The value is kept as raw text; the executor interprets it per
     /// option.
     Set { key: String, value: String },
+    /// `SUBMIT <statement>` — hand the inner statement to the job
+    /// scheduler and continue immediately; any binding, dump output, and
+    /// profile it produces land in the session at the matching `WAIT`.
+    Submit(Box<Stmt>),
+    /// `JOBS;` — dump one line per scheduler job (id, tenant, name,
+    /// state).
+    Jobs,
+    /// `WAIT <id>;` — block until submitted job `<id>` finishes and
+    /// merge its binding and dump output into the session.
+    Wait { id: u64 },
 }
 
 /// A parsed script.

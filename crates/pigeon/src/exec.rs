@@ -8,6 +8,7 @@ use sh_core::storage;
 use sh_core::{OpError, OpResult, SpatialFile};
 use sh_dfs::{Dfs, FaultPlan};
 use sh_geom::{Point, Polygon, Record, Rect};
+use sh_mapreduce::{JobHandle, JobScheduler, SchedConfig, SchedPolicy};
 use sh_trace::JobProfile;
 
 use crate::ast::{RecordType, Script, Stmt};
@@ -23,6 +24,8 @@ pub enum PigeonError {
     Type(String),
     /// Underlying operation failure.
     Op(OpError),
+    /// A `SUBMIT`ted job failed (reported at `WAIT`).
+    Job(String),
 }
 
 impl fmt::Display for PigeonError {
@@ -34,6 +37,7 @@ impl fmt::Display for PigeonError {
             PigeonError::Undefined(v) => write!(f, "undefined dataset: {v}"),
             PigeonError::Type(m) => write!(f, "type error: {m}"),
             PigeonError::Op(e) => write!(f, "execution error: {e}"),
+            PigeonError::Job(m) => write!(f, "job error: {m}"),
         }
     }
 }
@@ -76,6 +80,22 @@ pub struct Pigeon {
     /// Aggregated profile of the most recent statement that ran jobs;
     /// consumed by `PROFILE <statement>`.
     last_profile: Option<JobProfile>,
+    /// Multi-job scheduler, created by the first `SUBMIT`.
+    sched: Option<JobScheduler>,
+    /// Admission config the scheduler is created with (`SET sched_*`
+    /// before the first `SUBMIT`).
+    sched_cfg: SchedConfig,
+    /// Submitted-but-unwaited jobs by scheduler job id.
+    pending: HashMap<u64, JobHandle<Result<SubmitOutcome, String>>>,
+}
+
+/// What an asynchronous `SUBMIT` statement hands back at `WAIT`: the
+/// variable the inner statement bound (if any), whatever it dumped, and
+/// the profile of the jobs it ran.
+struct SubmitOutcome {
+    binding: Option<(String, Value)>,
+    dumped: Vec<String>,
+    profile: Option<JobProfile>,
 }
 
 impl Pigeon {
@@ -85,6 +105,9 @@ impl Pigeon {
             dfs: dfs.clone(),
             vars: HashMap::new(),
             last_profile: None,
+            sched: None,
+            sched_cfg: SchedConfig::default(),
+            pending: HashMap::new(),
         }
     }
 
@@ -758,6 +781,67 @@ impl Pigeon {
                 }
             }
             Stmt::Set { key, value } => self.apply_set(key, value)?,
+            Stmt::Submit(inner) => {
+                forbid_nested_async(inner)?;
+                let stmt = (**inner).clone();
+                let name = stmt_verb(&stmt).to_string();
+                // The job sees a snapshot of the environment; its own
+                // bindings come back at WAIT, so concurrent jobs cannot
+                // race on the variable table.
+                let vars = self.vars.clone();
+                if self.sched.is_none() {
+                    self.sched = Some(JobScheduler::new(&self.dfs, self.sched_cfg));
+                }
+                let sched = self.sched.as_ref().expect("scheduler just created");
+                let handle = sched
+                    .submit(&name, move |dfs| -> Result<SubmitOutcome, String> {
+                        let mut engine = Pigeon::new(dfs);
+                        engine.vars = vars;
+                        let mut job_dumped = Vec::new();
+                        engine
+                            .execute_stmt(&stmt, &mut job_dumped)
+                            .map_err(|e| e.to_string())?;
+                        let binding = target_var(&stmt).and_then(|v| {
+                            engine.vars.get(v).map(|val| (v.to_string(), val.clone()))
+                        });
+                        Ok(SubmitOutcome {
+                            binding,
+                            dumped: job_dumped,
+                            profile: engine.last_profile.take(),
+                        })
+                    })
+                    .map_err(|e| PigeonError::Job(e.to_string()))?;
+                dumped.push(format!("submitted job {} ({name})", handle.id));
+                self.pending.insert(handle.id, handle);
+            }
+            Stmt::Jobs => match &self.sched {
+                Some(sched) => {
+                    for j in sched.jobs() {
+                        dumped.push(format!(
+                            "job {} {} [{}]: {}",
+                            j.id, j.name, j.tenant, j.state
+                        ));
+                    }
+                }
+                None => dumped.push("no jobs submitted".to_string()),
+            },
+            Stmt::Wait { id } => {
+                let handle = self
+                    .pending
+                    .remove(id)
+                    .ok_or_else(|| PigeonError::Type(format!("WAIT {id}: no such pending job")))?;
+                match handle.join() {
+                    Ok(Ok(outcome)) => {
+                        if let Some((var, val)) = outcome.binding {
+                            self.vars.insert(var, val);
+                        }
+                        dumped.extend(outcome.dumped);
+                        self.last_profile = outcome.profile;
+                    }
+                    Ok(Err(msg)) => return Err(PigeonError::Job(format!("job {id}: {msg}"))),
+                    Err(e) => return Err(PigeonError::Job(format!("job {id}: {e}"))),
+                }
+            }
             Stmt::Store { src, path } => {
                 let lines = match self.lookup(src)? {
                     Value::Result(lines) => lines.clone(),
@@ -773,6 +857,17 @@ impl Pigeon {
                 }
                 w.close();
             }
+        }
+        Ok(())
+    }
+
+    /// Admission knobs configure the scheduler at creation; changing
+    /// them afterwards would silently not apply.
+    fn require_no_scheduler(&self, key: &str) -> Result<(), PigeonError> {
+        if self.sched.is_some() {
+            return Err(PigeonError::Type(format!(
+                "SET {key} must precede the first SUBMIT"
+            )));
         }
         Ok(())
     }
@@ -832,11 +927,28 @@ impl Pigeon {
                 // Byte budget of the per-node block cache; 0 disables it.
                 self.dfs.cache().set_budget(num(value)?);
             }
+            "sched_slots" => {
+                // Cluster-wide worker-slot pool; shared by every job.
+                self.dfs.slots().set_total(num(value)?.max(1) as usize);
+            }
+            "sched_policy" => {
+                self.require_no_scheduler(key)?;
+                self.sched_cfg.policy = SchedPolicy::parse(value).map_err(PigeonError::Type)?;
+            }
+            "sched_max_inflight" => {
+                self.require_no_scheduler(key)?;
+                self.sched_cfg.max_in_flight = num(value)?.max(1) as usize;
+            }
+            "sched_queue_cap" => {
+                self.require_no_scheduler(key)?;
+                self.sched_cfg.queue_cap = num(value)?.max(1) as usize;
+            }
             other => {
                 return Err(PigeonError::Type(format!(
                     "unknown SET option {other} (expected retries, blacklist_threshold, \
                      worker_threads, retry_backoff_ms, speculative, \
-                     speculation_threshold_ms, cache_budget, or fault_plan)"
+                     speculation_threshold_ms, cache_budget, fault_plan, sched_slots, \
+                     sched_policy, sched_max_inflight, or sched_queue_cap)"
                 )))
             }
         }
@@ -846,6 +958,72 @@ impl Pigeon {
 
 fn to_lines<R: Record>(records: &[R]) -> Vec<String> {
     records.iter().map(Record::to_line).collect()
+}
+
+/// Scheduler jobs run whole statements; letting them submit or wait on
+/// further jobs would deadlock a full queue on itself.
+fn forbid_nested_async(stmt: &Stmt) -> Result<(), PigeonError> {
+    match stmt {
+        Stmt::Submit(_) | Stmt::Jobs | Stmt::Wait { .. } => Err(PigeonError::Type(
+            "SUBMIT cannot wrap SUBMIT, JOBS, or WAIT".into(),
+        )),
+        Stmt::Profile(inner) => forbid_nested_async(inner),
+        _ => Ok(()),
+    }
+}
+
+/// The variable a statement binds, if any.
+fn target_var(stmt: &Stmt) -> Option<&str> {
+    match stmt {
+        Stmt::Load { var, .. }
+        | Stmt::Import { var, .. }
+        | Stmt::Generate { var, .. }
+        | Stmt::Delaunay { var, .. }
+        | Stmt::Index { var, .. }
+        | Stmt::RangeFilter { var, .. }
+        | Stmt::Knn { var, .. }
+        | Stmt::Join { var, .. }
+        | Stmt::KnnJoin { var, .. }
+        | Stmt::Skyline { var, .. }
+        | Stmt::ConvexHull { var, .. }
+        | Stmt::ClosestPair { var, .. }
+        | Stmt::FarthestPair { var, .. }
+        | Stmt::Union { var, .. }
+        | Stmt::Voronoi { var, .. } => Some(var),
+        Stmt::Profile(inner) => target_var(inner),
+        _ => None,
+    }
+}
+
+/// Short scheduler-facing name for a submitted statement.
+fn stmt_verb(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::Load { .. } => "load",
+        Stmt::Import { .. } => "import",
+        Stmt::Generate { .. } => "generate",
+        Stmt::Delaunay { .. } => "delaunay",
+        Stmt::Index { .. } => "index",
+        Stmt::RangeFilter { .. } => "range",
+        Stmt::Knn { .. } => "knn",
+        Stmt::Join { .. } => "join",
+        Stmt::KnnJoin { .. } => "knnjoin",
+        Stmt::Skyline { .. } => "skyline",
+        Stmt::ConvexHull { .. } => "convexhull",
+        Stmt::ClosestPair { .. } => "closestpair",
+        Stmt::FarthestPair { .. } => "farthestpair",
+        Stmt::Union { .. } => "union",
+        Stmt::Voronoi { .. } => "voronoi",
+        Stmt::Dump { .. } => "dump",
+        Stmt::Describe { .. } => "describe",
+        Stmt::Plot { .. } => "plot",
+        Stmt::PlotPyramid { .. } => "plotpyramid",
+        Stmt::Store { .. } => "store",
+        Stmt::Profile(inner) => stmt_verb(inner),
+        Stmt::Set { .. } => "set",
+        Stmt::Submit(_) => "submit",
+        Stmt::Jobs => "jobs",
+        Stmt::Wait { .. } => "wait",
+    }
 }
 
 fn expect_points(var: &str, rtype: RecordType) -> Result<(), PigeonError> {
@@ -1050,6 +1228,107 @@ mod tests {
         let text = out.join("\n");
         assert!(text.contains("faults:"), "{text}");
         assert!(text.contains("1 retries"), "{text}");
+    }
+
+    #[test]
+    fn submit_wait_runs_statements_asynchronously() {
+        let (dfs, pts) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             SUBMIT r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             SUBMIT n = KNN i POINT(500, 500) K 5;\n\
+             WAIT 0;\n\
+             WAIT 1;\n\
+             JOBS;\n\
+             DUMP r;\n\
+             DUMP n;",
+        )
+        .unwrap();
+        let text = out.join("\n");
+        assert!(text.contains("submitted job 0 (range)"), "{text}");
+        assert!(text.contains("submitted job 1 (knn)"), "{text}");
+        assert!(text.contains("job 0 range [default]: done"), "{text}");
+        assert!(text.contains("job 1 knn [default]: done"), "{text}");
+        // The async range result matches the serial expectation exactly.
+        let expected = pts
+            .iter()
+            .filter(|p| Rect::new(100.0, 100.0, 300.0, 300.0).contains_point(p))
+            .count();
+        // 2 submit lines + 2 JOBS lines + range rows + 5 knn rows.
+        assert_eq!(out.len(), 4 + expected + 5);
+    }
+
+    #[test]
+    fn wait_surfaces_the_jobs_profile_and_errors() {
+        let (dfs, _) = dfs_with_points();
+        // PROFILE WAIT renders the profile the submitted job produced.
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             SUBMIT r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             PROFILE WAIT 0;",
+        )
+        .unwrap();
+        let text = out.join("\n");
+        assert!(text.contains("job profile: range"), "{text}");
+        // A failing submitted statement reports at WAIT, not SUBMIT.
+        let err = run_script(&dfs, "SUBMIT x = SKYLINE missing;\nWAIT 0;").unwrap_err();
+        assert!(matches!(err, PigeonError::Job(_)), "{err}");
+        assert!(err.to_string().contains("missing"), "{err}");
+        // Waiting twice (or for an unknown id) is a type error.
+        let err = run_script(&dfs, "WAIT 99;").unwrap_err();
+        assert!(matches!(err, PigeonError::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn submit_cannot_nest_async_statements() {
+        let (dfs, _) = dfs_with_points();
+        for script in [
+            "SUBMIT SUBMIT s = SKYLINE p;",
+            "SUBMIT JOBS;",
+            "SUBMIT WAIT 0;",
+            "SUBMIT PROFILE WAIT 0;",
+        ] {
+            let err = run_script(&dfs, script).unwrap_err();
+            assert!(matches!(err, PigeonError::Type(_)), "{script}: {err}");
+        }
+    }
+
+    #[test]
+    fn sched_set_options_configure_scheduler_and_slots() {
+        let (dfs, _) = dfs_with_points();
+        run_script(&dfs, "SET sched_slots 3;").unwrap();
+        assert_eq!(dfs.slots().total(), 3);
+        // Admission knobs must precede the first SUBMIT.
+        let err = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             SET sched_policy fair;\n\
+             SET sched_max_inflight 2;\n\
+             SET sched_queue_cap 8;\n\
+             SUBMIT s = SKYLINE p;\n\
+             WAIT 0;\n\
+             SET sched_policy fifo;",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("must precede the first SUBMIT"),
+            "{err}"
+        );
+        assert!(matches!(
+            run_script(&dfs, "SET sched_policy roundrobin;"),
+            Err(PigeonError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn jobs_without_scheduler_reports_empty() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(&dfs, "JOBS;").unwrap();
+        assert_eq!(out, vec!["no jobs submitted".to_string()]);
     }
 
     #[test]

@@ -112,6 +112,23 @@ impl Parser {
             // The inner statement consumes its own terminating semicolon.
             return Ok(Stmt::Profile(Box::new(self.statement()?)));
         }
+        if first.eq_ignore_ascii_case("SUBMIT") {
+            // Like PROFILE: the inner statement consumes its own
+            // terminating semicolon.
+            return Ok(Stmt::Submit(Box::new(self.statement()?)));
+        }
+        if first.eq_ignore_ascii_case("JOBS") {
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Jobs);
+        }
+        if first.eq_ignore_ascii_case("WAIT") {
+            let n = self.number()?;
+            if n.fract() != 0.0 || n < 0.0 {
+                return Err(self.err(format!("WAIT expects a job id, found {n}")));
+            }
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Wait { id: n as u64 });
+        }
         if first.eq_ignore_ascii_case("SET") {
             let key = self.ident()?;
             let value = match self.next()? {
@@ -417,6 +434,34 @@ mod tests {
             }
         );
         assert!(parse("SET retries;").is_err());
+    }
+
+    #[test]
+    fn submit_jobs_wait_parse() {
+        let s = parse(
+            "SUBMIT r = FILTER i BY Overlaps(RECTANGLE(0, 0, 10, 10));\n\
+             submit PROFILE n = KNN i POINT(5, 5) K 3;\n\
+             JOBS;\n\
+             WAIT 0;\n\
+             wait 1;",
+        )
+        .unwrap();
+        assert_eq!(s.stmts.len(), 5);
+        match &s.stmts[0] {
+            Stmt::Submit(inner) => assert!(matches!(**inner, Stmt::RangeFilter { .. })),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &s.stmts[1] {
+            Stmt::Submit(inner) => assert!(matches!(**inner, Stmt::Profile(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.stmts[2], Stmt::Jobs);
+        assert_eq!(s.stmts[3], Stmt::Wait { id: 0 });
+        assert_eq!(s.stmts[4], Stmt::Wait { id: 1 });
+        // WAIT needs a whole non-negative job id and JOBS takes nothing.
+        assert!(parse("WAIT 1.5;").is_err());
+        assert!(parse("WAIT x;").is_err());
+        assert!(parse("JOBS i;").is_err());
     }
 
     #[test]

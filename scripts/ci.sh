@@ -1,32 +1,86 @@
 #!/usr/bin/env bash
-# Full CI gate: formatting, lints, release build, and the test suite.
-# Run from the repository root: ./scripts/ci.sh
+# Stage-aware CI gate. Run from anywhere:
+#
+#   ./scripts/ci.sh                 # every stage
+#   ./scripts/ci.sh --quick         # skip the chaos soak and benches
+#   ./scripts/ci.sh lint test       # just the named stages
+#
+# Stages: lint, build, test, chaos, bench. Fails fast, naming the stage
+# that broke, and prints per-stage wall-clock timings at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+QUICK=0
+STAGES=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    lint|build|test|chaos|bench) STAGES+=("$arg") ;;
+    *) echo "usage: $0 [--quick] [lint|build|test|chaos|bench]..." >&2; exit 2 ;;
+  esac
+done
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=(lint build test chaos bench)
+  if [ "$QUICK" -eq 1 ]; then
+    STAGES=(lint build test)
+  fi
+fi
 
-echo "==> cargo clippy --workspace -- -D warnings (+ hot-path allocation lints)"
-cargo clippy --workspace -- -D warnings \
-  -D clippy::redundant_clone -D clippy::inefficient_to_string
+TIMINGS=()
+run_stage() {
+  local name="$1"
+  shift
+  echo "==> stage: $name"
+  local t0
+  t0=$(date +%s)
+  if ! "$@"; then
+    echo "CI FAILED in stage: $name" >&2
+    exit 1
+  fi
+  TIMINGS+=("$name: $(( $(date +%s) - t0 ))s")
+}
 
-echo "==> cargo build --release"
-cargo build --release
+stage_lint() {
+  # `&&`-chained: `if ! stage` suppresses errexit inside the function,
+  # so each stage must propagate its first failure explicitly.
+  cargo fmt --check &&
+    # Hot-path allocation lints plus the concurrency lints: no mutexed
+    # atomics, no lock-holding scrutinees living longer than they look.
+    cargo clippy --workspace -- -D warnings \
+      -D clippy::redundant_clone -D clippy::inefficient_to_string \
+      -D clippy::mutex_atomic -D clippy::significant_drop_in_scrutinee
+}
 
-echo "==> cargo test -q"
-cargo test -q
+stage_build() {
+  cargo build --release
+}
 
-echo "==> chaos tests (fault injection)"
-cargo test -q --test fault_tolerance
+stage_test() {
+  cargo test -q
+}
 
-echo "==> chaos determinism: 10 iterations, identical results required"
-for i in $(seq 1 10); do
-  echo "  chaos iteration $i/10"
-  cargo test -q --test fault_tolerance chaos_runs_are_deterministic >/dev/null
+stage_chaos() {
+  # The determinism loops run inside the test binary (SH_CHAOS_ITERS),
+  # so 10 iterations cost one cargo invocation, not ten.
+  SH_CHAOS_ITERS=10 cargo test -q --test fault_tolerance &&
+    SH_STRESS_MILLIS=2000 cargo test -q --test concurrency
+}
+
+stage_bench() {
+  echo "--- hotpath (warm must not be slower than cold)" &&
+    cargo run -q -p sh-bench --release --bin hotpath -- BENCH_hotpath_ci.json &&
+    echo "--- throughput (concurrent vs serial multi-job)" &&
+    cargo run -q -p sh-bench --release --bin throughput -- BENCH_throughput_ci.json &&
+    echo "--- benchmark JSON artifacts must be well-formed" &&
+    cargo run -q -p sh-bench --release --bin checkjson -- \
+      BENCH_hotpath_ci.json BENCH_throughput_ci.json
+}
+
+for s in "${STAGES[@]}"; do
+  run_stage "$s" "stage_$s"
 done
 
-echo "==> hot-path benchmark smoke (warm must not be slower than cold)"
-cargo run -q -p sh-bench --release --bin hotpath -- /tmp/BENCH_hotpath_ci.json
-
-echo "CI green."
+echo "CI green. Stage timings:"
+for t in "${TIMINGS[@]}"; do
+  echo "  $t"
+done

@@ -1,0 +1,153 @@
+//! Concurrency stress: many threads hammer one indexed file with mixed
+//! queries. Every concurrent result must match the serial baseline, the
+//! shared worker-slot pool must never be breached, and the cache
+//! counters must stay consistent under the race (per-job counters sum
+//! to the global registry's delta — no lost updates).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spatialhadoop::core::ops::{knn, range};
+use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::dfs::{ClusterConfig, Dfs};
+use spatialhadoop::geom::{Point, Rect};
+use spatialhadoop::index::PartitionKind;
+use spatialhadoop::workload::{points, Distribution};
+
+const THREADS: usize = 8;
+
+/// Shorter under plain `cargo test`; CI's chaos stage exports
+/// `SH_STRESS_MILLIS=2000` for the full soak.
+fn stress_millis() -> u64 {
+    std::env::var("SH_STRESS_MILLIS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500)
+}
+
+fn range_lines(
+    dfs: &Dfs,
+    file: &spatialhadoop::core::SpatialFile,
+    q: &Rect,
+    out: &str,
+) -> (Vec<String>, u64, u64) {
+    let r = range::range_spatial::<Point>(dfs, file, q, out).unwrap();
+    let lines = r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+    (lines, r.counter("cache.hits"), r.counter("cache.misses"))
+}
+
+fn knn_lines(
+    dfs: &Dfs,
+    file: &spatialhadoop::core::SpatialFile,
+    q: &Point,
+    k: usize,
+    out: &str,
+) -> (Vec<String>, u64, u64) {
+    let r = knn::knn_spatial(dfs, file, q, k, out).unwrap();
+    let lines = r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+    (lines, r.counter("cache.hits"), r.counter("cache.misses"))
+}
+
+#[test]
+fn stress_mixed_queries_match_serial_baseline() {
+    let dfs = Dfs::new(ClusterConfig::small_for_tests());
+    let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+    let pts = points(10_000, Distribution::Uniform, &uni, 42);
+    upload(&dfs, "/data/points", &pts).unwrap();
+    let file = build_index::<Point>(&dfs, "/data/points", "/idx/points", PartitionKind::Grid)
+        .unwrap()
+        .value;
+
+    let ranges = [
+        Rect::new(100_000.0, 100_000.0, 400_000.0, 400_000.0),
+        Rect::new(500_000.0, 200_000.0, 900_000.0, 700_000.0),
+        Rect::new(0.0, 0.0, 250_000.0, 990_000.0),
+    ];
+    let knns = [
+        (Point::new(500_000.0, 500_000.0), 10usize),
+        (Point::new(123_456.0, 654_321.0), 25usize),
+    ];
+
+    // Serial baselines, one per query shape.
+    let base_ranges: Vec<Vec<String>> = ranges
+        .iter()
+        .enumerate()
+        .map(|(i, q)| range_lines(&dfs, &file, q, &format!("/base/r{i}")).0)
+        .collect();
+    let base_knns: Vec<Vec<String>> = knns
+        .iter()
+        .enumerate()
+        .map(|(i, (q, k))| knn_lines(&dfs, &file, q, *k, &format!("/base/k{i}")).0)
+        .collect();
+
+    // Count cache traffic only from here on: the concurrent phase's
+    // per-job counters must sum exactly to the registry's delta.
+    let registry = spatialhadoop::trace::global();
+    let before = registry.snapshot();
+    let job_hits = Arc::new(AtomicU64::new(0));
+    let job_misses = Arc::new(AtomicU64::new(0));
+
+    let deadline = Instant::now() + Duration::from_millis(stress_millis());
+    let mut workers = Vec::new();
+    for t in 0..THREADS {
+        let dfs = dfs.clone();
+        let file = file.clone();
+        let base_ranges = base_ranges.clone();
+        let base_knns = base_knns.clone();
+        let job_hits = Arc::clone(&job_hits);
+        let job_misses = Arc::clone(&job_misses);
+        workers.push(std::thread::spawn(move || {
+            let mut iters = 0u64;
+            while Instant::now() < deadline {
+                let (lines, hits, misses) = match (iters as usize + t) % 5 {
+                    i @ 0..=2 => {
+                        let out = format!("/out/t{t}-i{iters}-r{i}");
+                        let got = range_lines(&dfs, &file, &ranges[i], &out);
+                        assert_eq!(got.0, base_ranges[i], "thread {t} range {i} diverged");
+                        got
+                    }
+                    i => {
+                        let (q, k) = &knns[i - 3];
+                        let out = format!("/out/t{t}-i{iters}-k{i}");
+                        let got = knn_lines(&dfs, &file, q, *k, &out);
+                        assert_eq!(got.0, base_knns[i - 3], "thread {t} knn {i} diverged");
+                        got
+                    }
+                };
+                drop(lines);
+                job_hits.fetch_add(hits, Ordering::Relaxed);
+                job_misses.fetch_add(misses, Ordering::Relaxed);
+                iters += 1;
+            }
+            iters
+        }));
+    }
+    let total_iters: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    assert!(
+        total_iters >= THREADS as u64,
+        "each thread ran at least once"
+    );
+
+    // The shared slot pool bounded task concurrency across all threads.
+    assert!(
+        dfs.slots().peak() <= dfs.slots().total(),
+        "slot pool breached: peak {} > total {}",
+        dfs.slots().peak(),
+        dfs.slots().total()
+    );
+
+    // Cache counters are race-free: the per-job counters (one per
+    // partition open) add up exactly to the global registry's delta.
+    let delta = registry.snapshot().since(&before);
+    assert_eq!(
+        delta.counter("dfs.cache.hits"),
+        job_hits.load(Ordering::Relaxed),
+        "cache hit counters lost updates"
+    );
+    assert_eq!(
+        delta.counter("dfs.cache.misses"),
+        job_misses.load(Ordering::Relaxed),
+        "cache miss counters lost updates"
+    );
+}

@@ -237,10 +237,21 @@ fn cached_rerun_is_byte_identical_and_invalidated_by_churn() {
     );
 }
 
+/// Iterations for the determinism loops: CI sets `SH_CHAOS_ITERS=10` and
+/// gets the full sweep from one test-binary invocation; plain `cargo
+/// test` keeps the quick default.
+fn chaos_iters() -> usize {
+    std::env::var("SH_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+        .max(2)
+}
+
 #[test]
 fn chaos_runs_are_deterministic_across_processes_worth_of_state() {
-    // Same seeds + same fault plan = identical bytes, run twice from
-    // scratch (fresh DFS each time, fresh replica placement).
+    // Same seeds + same fault plan = identical bytes, run repeatedly
+    // from scratch (fresh DFS each time, fresh replica placement).
     let chaos = |dfs: &Dfs| {
         dfs.update_ft_options(|ft| {
             ft.node_blacklist_threshold = 1;
@@ -248,7 +259,77 @@ fn chaos_runs_are_deterministic_across_processes_worth_of_state() {
         });
     };
     let (lines_a, _, raw_a) = run_range(chaos);
-    let (lines_b, _, raw_b) = run_range(chaos);
-    assert_eq!(lines_a, lines_b);
-    assert_eq!(raw_a, raw_b);
+    for i in 1..chaos_iters() {
+        let (lines_b, _, raw_b) = run_range(chaos);
+        assert_eq!(lines_a, lines_b, "iteration {i} diverged");
+        assert_eq!(raw_a, raw_b, "iteration {i} bytes diverged");
+    }
+}
+
+#[test]
+fn two_concurrent_jobs_under_chaos_are_deterministic() {
+    use spatialhadoop::mapreduce::{JobScheduler, SchedConfig};
+
+    // Serial fault-free run is the reference output.
+    let (base_lines, _, base_raw) = baseline();
+
+    for iter in 0..chaos_iters() {
+        let mut cfg = ClusterConfig::small_for_tests();
+        cfg.retry_backoff_ms = 0;
+        let dfs = Dfs::new(cfg);
+        let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+        let pts = points(20_000, Distribution::Uniform, &uni, 7);
+        upload(&dfs, "/data/points", &pts).unwrap();
+        let file = build_index::<Point>(&dfs, "/data/points", "/idx/points", PartitionKind::Grid)
+            .unwrap()
+            .value;
+        // Arm faults only after the fault-free index build.
+        dfs.update_ft_options(|ft| {
+            ft.node_blacklist_threshold = 1;
+            ft.fault_plan = FaultPlan::none().kill_node(0);
+        });
+
+        let sched = JobScheduler::new(&dfs, SchedConfig::default());
+        let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
+        let handles: Vec<_> = (0..2)
+            .map(|j| {
+                let file = file.clone();
+                sched
+                    .submit(&format!("range{j}"), move |dfs| {
+                        let out = format!("/out/r{j}");
+                        let r = range::range_spatial::<Point>(dfs, &file, &query, &out).unwrap();
+                        let lines: Vec<String> =
+                            r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+                        let mut raw = String::new();
+                        for part in dfs.list(&format!("{out}/part-")) {
+                            raw.push_str(&dfs.read_to_string(&part).unwrap());
+                        }
+                        (lines, raw)
+                    })
+                    .unwrap()
+            })
+            .collect();
+        // A third party churns the cache while both jobs read: the
+        // epoch protocol must keep every result byte-identical.
+        let churn_dfs = dfs.clone();
+        let churn = std::thread::spawn(move || {
+            for _ in 0..20 {
+                churn_dfs.cache().clear();
+                std::thread::yield_now();
+            }
+        });
+        for h in handles {
+            let (lines, raw) = h.join().unwrap();
+            assert_eq!(lines, base_lines, "iteration {iter} diverged");
+            assert_eq!(raw, base_raw, "iteration {iter} bytes diverged");
+        }
+        churn.join().unwrap();
+        // Two jobs on one cluster never exceeded the shared slot pool.
+        assert!(
+            dfs.slots().peak() <= dfs.slots().total(),
+            "slot pool breached: {} > {}",
+            dfs.slots().peak(),
+            dfs.slots().total()
+        );
+    }
 }
