@@ -128,6 +128,8 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"hotpath\",\n");
+    json.push_str(&format!("  \"cores\": {},\n", sh_bench::cores()));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", sh_bench::git_rev()));
     json.push_str(&format!(
         "  \"workload\": {{\"points\": {POINTS}, \"rects_per_side\": {RECTS}, \"range_queries\": {RANGE_QUERIES}, \"dj_joins\": 1, \"iterations\": {ITERATIONS}}},\n"
     ));

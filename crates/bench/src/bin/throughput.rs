@@ -173,9 +173,7 @@ fn main() {
         "slot pool breached: peak {peak} > total {slots}"
     );
 
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let cores = sh_bench::cores();
     let speedup = serial_secs / concurrent_secs;
 
     let mut json = String::new();
@@ -186,6 +184,7 @@ fn main() {
         queries.len()
     ));
     json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", sh_bench::git_rev()));
     json.push_str(&format!("  \"slots\": {slots},\n"));
     json.push_str(&format!("  \"slot_peak\": {peak},\n"));
     json.push_str("  \"max_in_flight\": 8,\n");

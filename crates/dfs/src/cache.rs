@@ -210,6 +210,10 @@ impl BlockCache {
         inner.tick += 1;
         let tick = inner.tick;
         inner.invalidated_at.insert(key.to_string(), tick);
+        sh_trace::events::emit(
+            "cache.invalidate",
+            vec![("key", key.to_string()), ("epoch", tick.to_string())],
+        );
         if let Some(e) = inner.entries.remove(key) {
             inner.total_bytes -= e.bytes;
             drop(inner);
@@ -224,6 +228,7 @@ impl BlockCache {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         inner.cleared_at = inner.tick;
+        sh_trace::events::emit("cache.clear", vec![("epoch", inner.tick.to_string())]);
         // The wholesale tick supersedes all per-key records.
         inner.invalidated_at.clear();
         inner.entries.clear();

@@ -70,12 +70,25 @@ impl FaultPlan {
         self
     }
 
-    /// Should attempt `attempt` of map task `task` fail?
+    /// Should attempt `attempt` of map task `task` fail? The executor
+    /// consults this exactly once per attempt, so a hit is journaled as
+    /// one `fault.inject` event — chaos runs stay auditable post-hoc.
     pub fn should_fail(&self, task: usize, attempt: usize) -> bool {
-        self.actions.iter().any(|a| {
+        let hit = self.actions.iter().any(|a| {
             matches!(a, FaultAction::FailTask { task: t, attempt: at }
                          if *t == task && *at == attempt)
-        })
+        });
+        if hit {
+            sh_trace::events::emit(
+                "fault.inject",
+                vec![
+                    ("action", "fail_task".to_string()),
+                    ("task", task.to_string()),
+                    ("attempt", attempt.to_string()),
+                ],
+            );
+        }
+        hit
     }
 
     /// Injected straggler delay for an attempt, if any (first attempts

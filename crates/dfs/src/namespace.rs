@@ -292,6 +292,10 @@ impl Dfs {
         drop(inner);
         self.cache.clear();
         sh_trace::global().gauge_set("dfs.nodes.alive", alive as i64);
+        sh_trace::events::emit(
+            "node.kill",
+            vec![("node", node.to_string()), ("alive", alive.to_string())],
+        );
     }
 
     /// Revives a datanode (cache dropped; see [`Dfs::kill_node`]).
@@ -304,6 +308,10 @@ impl Dfs {
         drop(inner);
         self.cache.clear();
         sh_trace::global().gauge_set("dfs.nodes.alive", alive as i64);
+        sh_trace::events::emit(
+            "node.revive",
+            vec![("node", node.to_string()), ("alive", alive.to_string())],
+        );
     }
 
     /// Restores the replication factor of every block that lost replicas
@@ -362,6 +370,7 @@ impl Dfs {
         drop(inner);
         // Replica layout changed under the readers' feet: flush.
         self.cache.clear();
+        sh_trace::events::emit("dfs.rereplicate", vec![("created", created.to_string())]);
         created
     }
 

@@ -51,6 +51,15 @@ impl SlotPool {
     pub fn acquire(self: &Arc<Self>) -> SlotLease {
         let t0 = Instant::now();
         let mut st = self.state.lock().expect("slot pool poisoned");
+        if st.in_use >= st.total {
+            sh_trace::events::emit(
+                "slots.exhausted",
+                vec![
+                    ("in_use", st.in_use.to_string()),
+                    ("total", st.total.to_string()),
+                ],
+            );
+        }
         while st.in_use >= st.total {
             st = self.cv.wait(st).expect("slot pool poisoned");
         }

@@ -345,6 +345,14 @@ impl<'a, T: Send> WaveRunner<'a, T> {
                     ts.speculated = true;
                     st.stats.attempts += 1;
                     st.stats.speculative_launched += 1;
+                    sh_trace::events::emit(
+                        "task.speculative.launched",
+                        vec![
+                            ("phase", self.phase.to_string()),
+                            ("task", task.to_string()),
+                            ("node", node.to_string()),
+                        ],
+                    );
                     return Work::Run {
                         task,
                         attempt,
@@ -496,6 +504,14 @@ impl<'a, T: Send> WaveRunner<'a, T> {
                     st.remaining -= 1;
                     if speculative {
                         st.stats.speculative_won += 1;
+                        sh_trace::events::emit(
+                            "task.speculative.won",
+                            vec![
+                                ("phase", self.phase.to_string()),
+                                ("task", task.to_string()),
+                                ("node", node.to_string()),
+                            ],
+                        );
                     }
                     self.results.lock().unwrap()[task] = Some(result);
                     // Only the winning attempt shapes the duration
@@ -513,11 +529,30 @@ impl<'a, T: Send> WaveRunner<'a, T> {
                         st.blacklist.push(node);
                         st.stats.nodes_blacklisted += 1;
                         blacklisted_now = true;
+                        let node_failures = st.node_failures.get(&node).copied().unwrap_or(0);
+                        sh_trace::events::emit(
+                            "node.blacklist",
+                            vec![
+                                ("phase", self.phase.to_string()),
+                                ("node", node.to_string()),
+                                ("failures", node_failures.to_string()),
+                            ],
+                        );
                     }
                     let ts = &st.tasks[task];
-                    if ts.attempts < self.opts.max_task_attempts {
+                    let attempts = ts.attempts;
+                    if attempts < self.opts.max_task_attempts {
                         st.stats.retries += 1;
                         st.queue.push_back(task);
+                        sh_trace::events::emit(
+                            "task.retry",
+                            vec![
+                                ("phase", self.phase.to_string()),
+                                ("task", task.to_string()),
+                                ("node", node.to_string()),
+                                ("attempt", attempts.to_string()),
+                            ],
+                        );
                     } else if ts.running == 0 {
                         // Attempt budget exhausted with nothing in
                         // flight: the job fails. Keep the FIRST
@@ -573,6 +608,13 @@ where
     span.attr(
         "reducers",
         job.reducer.as_ref().map(|_| job.num_reducers).unwrap_or(0),
+    );
+    sh_trace::events::emit(
+        "job.started",
+        vec![
+            ("job", job.name.clone()),
+            ("splits", job.splits.len().to_string()),
+        ],
     );
 
     // Hadoop semantics: refuse to run into a non-empty output directory
@@ -848,6 +890,14 @@ fn build_profile(
     registry.observe("job.wall.micros", wall.as_micros() as u64);
     registry.observe_histogram("job.map.task.micros", &map_task_micros);
     registry.observe_histogram("job.reduce.task.micros", &reduce_task_micros);
+    sh_trace::events::emit(
+        "job.finished",
+        vec![
+            ("job", name.to_string()),
+            ("wall_micros", (wall.as_micros() as u64).to_string()),
+            ("retries", ft.retries.to_string()),
+        ],
+    );
 
     let mut profile = JobProfile::new(name);
     profile.wall = wall;

@@ -273,10 +273,24 @@ impl JobScheduler {
         let mut st = self.inner.state.lock().expect("scheduler poisoned");
         if st.shutdown {
             registry.counter_add("sched.rejected", 1);
+            sh_trace::events::emit(
+                "job.rejected",
+                vec![
+                    ("job", name.to_string()),
+                    ("reason", "shutdown".to_string()),
+                ],
+            );
             return Err(SchedError::Shutdown);
         }
         if st.queue.len() >= self.inner.cfg.queue_cap {
             registry.counter_add("sched.rejected", 1);
+            sh_trace::events::emit(
+                "job.rejected",
+                vec![
+                    ("job", name.to_string()),
+                    ("reason", "queue_full".to_string()),
+                ],
+            );
             return Err(SchedError::QueueFull);
         }
         let id = st.next_id;
@@ -288,6 +302,14 @@ impl JobScheduler {
                 tenant: tenant.to_string(),
                 state: JobState::Queued,
             },
+        );
+        sh_trace::events::emit(
+            "job.submitted",
+            vec![
+                ("id", id.to_string()),
+                ("job", name.to_string()),
+                ("tenant", tenant.to_string()),
+            ],
         );
         st.queue.push_back(Pending {
             id,
@@ -388,6 +410,17 @@ impl Inner {
                 "sched.wait.micros",
                 pending.enqueued.elapsed().as_micros() as u64,
             );
+            sh_trace::events::emit(
+                "job.admitted",
+                vec![
+                    ("id", pending.id.to_string()),
+                    ("tenant", pending.tenant.clone()),
+                    (
+                        "wait_micros",
+                        (pending.enqueued.elapsed().as_micros() as u64).to_string(),
+                    ),
+                ],
+            );
             spawn.push(pending);
         }
         registry.gauge_set("sched.queue.depth", st.queue.len() as i64);
@@ -404,6 +437,13 @@ impl Inner {
                         "sched.failed"
                     },
                     1,
+                );
+                sh_trace::events::emit(
+                    if ok { "job.completed" } else { "job.failed" },
+                    vec![
+                        ("id", pending.id.to_string()),
+                        ("tenant", pending.tenant.clone()),
+                    ],
                 );
                 let mut st = inner.state.lock().expect("scheduler poisoned");
                 st.running -= 1;

@@ -137,6 +137,20 @@ pub enum Stmt {
     /// `WAIT <id>;` — block until submitted job `<id>` finishes and
     /// merge its binding and dump output into the session.
     Wait { id: u64 },
+    /// `STATS;` — dump current counter rates, gauges, and histogram
+    /// percentiles from the session's time-series sampler.
+    Stats,
+    /// `EVENTS [n] [FILTER <kind>];` — dump the last `n` (default 20)
+    /// journaled engine events, optionally restricted to kinds starting
+    /// with `<kind>` (so `FILTER task` matches `task.retry`).
+    Events {
+        n: Option<usize>,
+        filter: Option<String>,
+    },
+    /// `EXPLAIN ANALYZE <statement>` — run the inner statement and dump
+    /// a waterfall rendering of its span tree with the critical path
+    /// marked and the dominant phase summarized.
+    ExplainAnalyze(Box<Stmt>),
 }
 
 /// A parsed script.

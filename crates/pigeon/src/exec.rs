@@ -9,7 +9,7 @@ use sh_core::{OpError, OpResult, SpatialFile};
 use sh_dfs::{Dfs, FaultPlan};
 use sh_geom::{Point, Polygon, Record, Rect};
 use sh_mapreduce::{JobHandle, JobScheduler, SchedConfig, SchedPolicy};
-use sh_trace::JobProfile;
+use sh_trace::{Event, JobProfile, Sampler, Waterfall};
 
 use crate::ast::{RecordType, Script, Stmt};
 
@@ -87,6 +87,15 @@ pub struct Pigeon {
     sched_cfg: SchedConfig,
     /// Submitted-but-unwaited jobs by scheduler job id.
     pending: HashMap<u64, JobHandle<Result<SubmitOutcome, String>>>,
+    /// Time-series sampler over the global registry, started lazily by
+    /// the first `STATS;` (so short-lived engines — e.g. the per-job
+    /// engines `SUBMIT` spawns — never pay for a sampling thread).
+    sampler: Option<Sampler>,
+    /// Slow-query threshold (`SET slow_query_ms <n>;`); 0 disables.
+    slow_query_ms: u64,
+    /// Rendered profiles of statements that tripped the slow-query
+    /// threshold, drained into the dump output after each statement.
+    slow_log: Vec<String>,
 }
 
 /// What an asynchronous `SUBMIT` statement hands back at `WAIT`: the
@@ -108,13 +117,34 @@ impl Pigeon {
             sched: None,
             sched_cfg: SchedConfig::default(),
             pending: HashMap::new(),
+            sampler: None,
+            slow_query_ms: 0,
+            slow_log: Vec::new(),
         }
     }
 
     /// Unwraps an operation result, stashing its aggregated profile so a
-    /// surrounding `PROFILE` statement can report it.
+    /// surrounding `PROFILE` statement can report it. Statements whose
+    /// wall-clock exceeds `SET slow_query_ms` land their full rendered
+    /// profile in the slow-query log and journal a `query.slow` event.
     fn take<T>(&mut self, op: &str, r: OpResult<T>) -> T {
-        self.last_profile = Some(r.profile(op));
+        let profile = r.profile(op);
+        if self.slow_query_ms > 0 {
+            let wall_ms = profile.wall.as_millis() as u64;
+            if wall_ms >= self.slow_query_ms {
+                sh_trace::events::emit(
+                    "query.slow",
+                    vec![("op", op.to_string()), ("wall_ms", wall_ms.to_string())],
+                );
+                self.slow_log.push(format!(
+                    "slow query: {op} took {wall_ms}ms (threshold {}ms)",
+                    self.slow_query_ms
+                ));
+                self.slow_log
+                    .extend(profile.render().lines().map(str::to_string));
+            }
+        }
+        self.last_profile = Some(profile);
         r.value
     }
 
@@ -145,6 +175,8 @@ impl Pigeon {
         let mut dumped = Vec::new();
         for stmt in &script.stmts {
             self.execute_stmt(stmt, &mut dumped)?;
+            // Auto-dump profiles that tripped `SET slow_query_ms`.
+            dumped.append(&mut self.slow_log);
         }
         Ok(dumped)
     }
@@ -780,6 +812,40 @@ impl Pigeon {
                     None => dumped.push("profile: statement ran no jobs".to_string()),
                 }
             }
+            Stmt::ExplainAnalyze(inner) => {
+                self.last_profile = None;
+                self.execute_stmt(inner, dumped)?;
+                match self.last_profile.take() {
+                    Some(p) => match &p.spans {
+                        Some(root) => {
+                            dumped.push(format!("explain analyze: {}", p.job));
+                            dumped
+                                .extend(format!("{}", Waterfall(root)).lines().map(str::to_string));
+                        }
+                        None => {
+                            dumped.push("explain analyze: statement recorded no spans".to_string())
+                        }
+                    },
+                    None => dumped.push("explain analyze: statement ran no jobs".to_string()),
+                }
+            }
+            Stmt::Stats => {
+                let sampler = self.sampler.get_or_insert_with(|| {
+                    Sampler::start(sh_trace::global(), std::time::Duration::from_millis(200))
+                });
+                // Force a fresh sample so STATS reflects the statements
+                // that just ran, not the last background tick.
+                sampler.tick();
+                dumped.extend(sampler.render().lines().map(str::to_string));
+            }
+            Stmt::Events { n, filter } => {
+                let events = sh_trace::journal().recent(n.unwrap_or(20), filter.as_deref());
+                if events.is_empty() {
+                    dumped.push("events: none recorded".to_string());
+                } else {
+                    dumped.extend(events.iter().map(Event::render));
+                }
+            }
             Stmt::Set { key, value } => self.apply_set(key, value)?,
             Stmt::Submit(inner) => {
                 forbid_nested_async(inner)?;
@@ -943,12 +1009,28 @@ impl Pigeon {
                 self.require_no_scheduler(key)?;
                 self.sched_cfg.queue_cap = num(value)?.max(1) as usize;
             }
+            "telemetry_log" => {
+                // JSONL sink for the event journal; `none`/`off` detaches.
+                let path = match value.to_ascii_lowercase().as_str() {
+                    "none" | "off" => None,
+                    _ => Some(value),
+                };
+                sh_trace::journal()
+                    .set_log_path(path)
+                    .map_err(PigeonError::Type)?;
+            }
+            "slow_query_ms" => {
+                // Statements slower than this auto-dump their profile;
+                // 0 disables the slow-query log.
+                self.slow_query_ms = num(value)?;
+            }
             other => {
                 return Err(PigeonError::Type(format!(
                     "unknown SET option {other} (expected retries, blacklist_threshold, \
                      worker_threads, retry_backoff_ms, speculative, \
                      speculation_threshold_ms, cache_budget, fault_plan, sched_slots, \
-                     sched_policy, sched_max_inflight, or sched_queue_cap)"
+                     sched_policy, sched_max_inflight, sched_queue_cap, telemetry_log, \
+                     or slow_query_ms)"
                 )))
             }
         }
@@ -967,7 +1049,7 @@ fn forbid_nested_async(stmt: &Stmt) -> Result<(), PigeonError> {
         Stmt::Submit(_) | Stmt::Jobs | Stmt::Wait { .. } => Err(PigeonError::Type(
             "SUBMIT cannot wrap SUBMIT, JOBS, or WAIT".into(),
         )),
-        Stmt::Profile(inner) => forbid_nested_async(inner),
+        Stmt::Profile(inner) | Stmt::ExplainAnalyze(inner) => forbid_nested_async(inner),
         _ => Ok(()),
     }
 }
@@ -990,7 +1072,7 @@ fn target_var(stmt: &Stmt) -> Option<&str> {
         | Stmt::FarthestPair { var, .. }
         | Stmt::Union { var, .. }
         | Stmt::Voronoi { var, .. } => Some(var),
-        Stmt::Profile(inner) => target_var(inner),
+        Stmt::Profile(inner) | Stmt::ExplainAnalyze(inner) => target_var(inner),
         _ => None,
     }
 }
@@ -1019,10 +1101,13 @@ fn stmt_verb(stmt: &Stmt) -> &'static str {
         Stmt::PlotPyramid { .. } => "plotpyramid",
         Stmt::Store { .. } => "store",
         Stmt::Profile(inner) => stmt_verb(inner),
+        Stmt::ExplainAnalyze(inner) => stmt_verb(inner),
         Stmt::Set { .. } => "set",
         Stmt::Submit(_) => "submit",
         Stmt::Jobs => "jobs",
         Stmt::Wait { .. } => "wait",
+        Stmt::Stats => "stats",
+        Stmt::Events { .. } => "events",
     }
 }
 
@@ -1460,5 +1545,149 @@ mod tests {
         .unwrap();
         assert_eq!(out.len(), 1);
         assert!(out[0].contains("quadtree"), "{}", out[0]);
+    }
+
+    #[test]
+    fn explain_analyze_renders_a_waterfall_with_critical_path() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             EXPLAIN ANALYZE r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));",
+        )
+        .unwrap();
+        let text = out.join("\n");
+        assert!(text.contains("explain analyze:"), "{text}");
+        assert!(text.contains("waterfall"), "{text}");
+        assert!(text.contains('█'), "bars must be drawn: {text}");
+        assert!(text.contains("critical path (◆):"), "{text}");
+        assert!(text.contains("dominant phase:"), "{text}");
+        // The range query's map wave must appear as a span row.
+        assert!(text.contains("map-wave"), "{text}");
+        // The binding still happened even though the statement was wrapped.
+        let err = run_script(&dfs, "EXPLAIN ANALYZE STATS;");
+        assert!(
+            err.unwrap().join("\n").contains("ran no jobs"),
+            "job-less statements explain to a notice"
+        );
+    }
+
+    #[test]
+    fn stats_and_events_return_live_data_after_a_workload() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             STATS;\n\
+             EVENTS 50;\n\
+             EVENTS 50 FILTER job;",
+        )
+        .unwrap();
+        let text = out.join("\n");
+        // STATS reports the registry the jobs above just fed.
+        assert!(text.contains("stats: "), "{text}");
+        assert!(text.contains("job.wall.micros"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        // EVENTS shows journaled engine events, newest runs included.
+        assert!(text.contains("job.started"), "{text}");
+        assert!(text.contains("job.finished"), "{text}");
+        // The filtered view drops non-job kinds.
+        let filtered: Vec<&str> = out
+            .iter()
+            .filter(|l| l.starts_with('#'))
+            .map(String::as_str)
+            .collect();
+        assert!(!filtered.is_empty(), "{text}");
+    }
+
+    #[test]
+    fn events_filter_restricts_kinds() {
+        let (dfs, _) = dfs_with_points();
+        let out = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/p';\n\
+             EVENTS 100 FILTER cache;",
+        )
+        .unwrap();
+        assert!(!out.is_empty());
+        for line in out.iter().filter(|l| l.starts_with('#')) {
+            assert!(line.contains(" cache."), "non-cache event leaked: {line}");
+        }
+    }
+
+    #[test]
+    fn slow_query_log_auto_dumps_profiles() {
+        let (dfs, _) = dfs_with_points();
+        // Threshold 0ms is disabled; 1ms-threshold with a real index
+        // build (which takes more than a millisecond) must trip.
+        let out = run_script(
+            &dfs,
+            "SET slow_query_ms 10000;\n\
+             p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/slowoff';",
+        )
+        .unwrap();
+        assert!(
+            !out.iter().any(|l| l.starts_with("slow query:")),
+            "10s threshold must not trip: {out:?}"
+        );
+        let out = run_script(
+            &dfs,
+            "SET slow_query_ms 1;\n\
+             p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/slowon';\n\
+             r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));",
+        )
+        .unwrap();
+        let slow: Vec<&String> = out
+            .iter()
+            .filter(|l| l.starts_with("slow query:"))
+            .collect();
+        assert!(!slow.is_empty(), "1ms threshold must trip: {out:?}");
+        // The full rendered profile follows the slow-query header.
+        assert!(out.iter().any(|l| l.starts_with("job profile:")), "{out:?}");
+        // The journal records the slow query too.
+        assert!(sh_trace::journal().count("query.slow") >= 1);
+    }
+
+    #[test]
+    fn telemetry_log_sink_streams_jsonl() {
+        let (dfs, _) = dfs_with_points();
+        let path =
+            std::env::temp_dir().join(format!("sh-pigeon-telemetry-{}.jsonl", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let _ = std::fs::remove_file(&path);
+        run_script(
+            &dfs,
+            &format!(
+                "SET telemetry_log '{path_s}';\n\
+                 p = LOAD '/data/points' AS POINT;\n\
+                 i = INDEX p AS grid INTO '/idx/tl';\n\
+                 SET telemetry_log none;"
+            ),
+        )
+        .unwrap();
+        assert_eq!(sh_trace::journal().log_path(), None, "sink detached");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let v = sh_trace::json::parse(line).expect("every JSONL line parses");
+            assert!(v.get("kind").is_some());
+        }
+        assert!(text.contains("job.started"), "jobs were journaled");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_set_option_lists_telemetry_keys() {
+        let (dfs, _) = dfs_with_points();
+        let err = run_script(&dfs, "SET frobnicate 1;").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("telemetry_log"), "{msg}");
+        assert!(msg.contains("slow_query_ms"), "{msg}");
     }
 }

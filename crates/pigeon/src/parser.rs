@@ -117,6 +117,43 @@ impl Parser {
             // terminating semicolon.
             return Ok(Stmt::Submit(Box::new(self.statement()?)));
         }
+        if first.eq_ignore_ascii_case("EXPLAIN") {
+            self.keyword("ANALYZE")?;
+            // Like PROFILE: the inner statement consumes its own
+            // terminating semicolon.
+            return Ok(Stmt::ExplainAnalyze(Box::new(self.statement()?)));
+        }
+        if first.eq_ignore_ascii_case("STATS") {
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Stats);
+        }
+        if first.eq_ignore_ascii_case("EVENTS") {
+            let n = match self.peek() {
+                Some(TokenKind::Num(_)) => {
+                    let n = self.number()?;
+                    if n.fract() != 0.0 || n < 0.0 {
+                        return Err(self.err(format!("EVENTS expects a count, found {n}")));
+                    }
+                    Some(n as usize)
+                }
+                _ => None,
+            };
+            let filter = match self.peek() {
+                Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("FILTER") => {
+                    self.next()?;
+                    Some(match self.next()? {
+                        TokenKind::Ident(s) => s,
+                        TokenKind::Str(s) => s,
+                        other => {
+                            return Err(self.err(format!("expected an event kind, found {other}")))
+                        }
+                    })
+                }
+                _ => None,
+            };
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Events { n, filter });
+        }
         if first.eq_ignore_ascii_case("JOBS") {
             self.expect(&TokenKind::Semicolon)?;
             return Ok(Stmt::Jobs);
@@ -484,5 +521,58 @@ mod tests {
         assert!(parse("a = FILTER x BY Overlaps(RECTANGLE(1, 2, 3));").is_err());
         assert!(parse("a = KNN x POINT(1) K 2;").is_err());
         assert!(parse("a = LOAD '/x' AS TRIANGLE;").is_err());
+    }
+
+    #[test]
+    fn parses_stats_and_events() {
+        let s =
+            parse("STATS;\nEVENTS;\nEVENTS 5;\nEVENTS 5 FILTER task;\nEVENTS FILTER 'task.retry';")
+                .unwrap();
+        assert_eq!(s.stmts[0], Stmt::Stats);
+        assert_eq!(
+            s.stmts[1],
+            Stmt::Events {
+                n: None,
+                filter: None
+            }
+        );
+        assert_eq!(
+            s.stmts[2],
+            Stmt::Events {
+                n: Some(5),
+                filter: None
+            }
+        );
+        assert_eq!(
+            s.stmts[3],
+            Stmt::Events {
+                n: Some(5),
+                filter: Some("task".to_string())
+            }
+        );
+        assert_eq!(
+            s.stmts[4],
+            Stmt::Events {
+                n: None,
+                filter: Some("task.retry".to_string())
+            }
+        );
+        assert!(parse("EVENTS 1.5;").is_err());
+        assert!(parse("EVENTS 5 FILTER;").is_err());
+    }
+
+    #[test]
+    fn parses_explain_analyze() {
+        let s =
+            parse("EXPLAIN ANALYZE r = FILTER i BY Overlaps(RECTANGLE(0, 0, 10, 10));").unwrap();
+        match &s.stmts[0] {
+            Stmt::ExplainAnalyze(inner) => match inner.as_ref() {
+                Stmt::RangeFilter { var, .. } => assert_eq!(var, "r"),
+                other => panic!("unexpected inner {other:?}"),
+            },
+            other => panic!("unexpected stmt {other:?}"),
+        }
+        // ANALYZE is mandatory; bare EXPLAIN is an error.
+        assert!(parse("EXPLAIN r = FILTER i BY Overlaps(RECTANGLE(0, 0, 1, 1));").is_err());
     }
 }

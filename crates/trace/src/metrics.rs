@@ -319,6 +319,49 @@ mod tests {
     }
 
     #[test]
+    fn quantile_is_exact_at_bucket_edges() {
+        // Observations sitting exactly on inclusive bucket limits
+        // (2^i - 1) come back unchanged at every rank.
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 7, 15, 31, 63, 127] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.125), 0);
+        assert_eq!(h.quantile(0.25), 1);
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(0.75), 31);
+        assert_eq!(h.quantile(1.0), 127);
+    }
+
+    #[test]
+    fn quantile_overestimates_by_less_than_two_x_within_a_bucket() {
+        // Worst case of the log2 layout: a value just past a bucket edge
+        // reports the bucket's upper limit, which stays under 2x the
+        // true value. A second, larger observation keeps `max` from
+        // masking the bucket limit.
+        for v in [2u64, 5, 9, 100, 1000, 4097, 1 << 40] {
+            let mut h = Histogram::new();
+            h.observe(v);
+            h.observe(u64::MAX / 4);
+            let est = h.quantile(0.25); // rank 1 → v's bucket
+            assert!(est >= v, "estimate {est} must not under-report {v}");
+            assert!(est < 2 * v, "estimate {est} must stay under 2x of {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_at_one_is_the_exact_max_even_mid_bucket() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 77] {
+            h.observe(v);
+        }
+        // 900's bucket limit is 1023; the estimator clamps to the
+        // tracked max instead of reporting the limit.
+        assert_eq!(h.quantile(1.0), 900);
+        assert_eq!(Histogram::new().quantile(0.99), 0, "empty histogram");
+    }
+
+    #[test]
     fn histogram_merge_and_wire_form() {
         let mut a = Histogram::new();
         a.observe(5);

@@ -175,6 +175,131 @@ impl std::fmt::Display for SpanTree<'_> {
     }
 }
 
+/// Critical path through a finished span tree: starting at the root,
+/// repeatedly descend into the longest-running child. The result is the
+/// chain of spans that bounded the tree's wall-clock — shortening any
+/// other span cannot make the whole tree faster.
+pub fn critical_path(root: &SpanRecord) -> Vec<&SpanRecord> {
+    let mut path = vec![root];
+    let mut cur = root;
+    while let Some(next) = cur.children.iter().max_by_key(|c| c.duration) {
+        path.push(next);
+        cur = next;
+    }
+    path
+}
+
+/// Render adapter for `EXPLAIN ANALYZE`: a waterfall of the span tree —
+/// each span drawn as a bar positioned by its start offset and scaled by
+/// its duration relative to the root — with the critical path marked `◆`
+/// and summarized below the chart.
+pub struct Waterfall<'a>(pub &'a SpanRecord);
+
+impl Waterfall<'_> {
+    const BAR: usize = 30;
+
+    fn bar(rel_start: Duration, duration: Duration, total: Duration) -> String {
+        let total_ns = total.as_nanos().max(1);
+        let begin = ((rel_start.as_nanos() * Self::BAR as u128) / total_ns) as usize;
+        let begin = begin.min(Self::BAR - 1);
+        let end_ns = (rel_start + duration).as_nanos().min(total_ns);
+        let end = (end_ns * Self::BAR as u128).div_ceil(total_ns) as usize;
+        let end = end.clamp(begin + 1, Self::BAR);
+        let mut out = String::with_capacity(Self::BAR + 2);
+        out.push('▕');
+        for i in 0..Self::BAR {
+            out.push(if i >= begin && i < end { '█' } else { '·' });
+        }
+        out.push('▏');
+        out
+    }
+}
+
+impl std::fmt::Display for Waterfall<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let root = self.0;
+        let total = root.duration;
+        let on_path: Vec<*const SpanRecord> = critical_path(root)
+            .into_iter()
+            .map(|s| s as *const SpanRecord)
+            .collect();
+        writeln!(f, "{:<44} {:>10} {:>10}  waterfall", "span", "start", "dur")?;
+        #[allow(clippy::too_many_arguments)]
+        fn node(
+            f: &mut std::fmt::Formatter<'_>,
+            rec: &SpanRecord,
+            prefix: &str,
+            last: bool,
+            root: bool,
+            root_start: Duration,
+            total: Duration,
+            on_path: &[*const SpanRecord],
+        ) -> std::fmt::Result {
+            let (branch, cont) = if root {
+                ("", "")
+            } else if last {
+                ("└─ ", "   ")
+            } else {
+                ("├─ ", "│  ")
+            };
+            let label = format!("{prefix}{branch}{}", rec.name);
+            let rel = rec.start.saturating_sub(root_start);
+            let marked = on_path.iter().any(|&p| std::ptr::eq(p, rec));
+            writeln!(
+                f,
+                "{label:<44} {:>10} {:>10}  {}{}",
+                format_duration(rel),
+                format_duration(rec.duration),
+                Waterfall::bar(rel, rec.duration, total),
+                if marked { " ◆" } else { "" }
+            )?;
+            let child_prefix = format!("{prefix}{cont}");
+            for (i, c) in rec.children.iter().enumerate() {
+                node(
+                    f,
+                    c,
+                    &child_prefix,
+                    i + 1 == rec.children.len(),
+                    false,
+                    root_start,
+                    total,
+                    on_path,
+                )?;
+            }
+            Ok(())
+        }
+        node(f, root, "", true, true, root.start, total, &on_path)?;
+
+        let chain = critical_path(root);
+        let names: Vec<&str> = chain.iter().map(|s| s.name.as_str()).collect();
+        writeln!(f, "critical path (◆): {}", names.join(" → "))?;
+        if let Some(phase) = chain.get(1) {
+            let pct = if total.as_nanos() > 0 {
+                100.0 * phase.duration.as_secs_f64() / total.as_secs_f64()
+            } else {
+                100.0
+            };
+            write!(
+                f,
+                "dominant phase: {} — {:.0}% of {} wall-clock",
+                phase.name,
+                pct.min(100.0),
+                format_duration(total)
+            )?;
+            if !phase.attrs.is_empty() {
+                let attrs: Vec<String> = phase
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                write!(f, " [{}]", attrs.join(" "))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
 /// Human-scale duration: `428ns`, `1.2ms`, `3.45s`.
 pub fn format_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
@@ -241,6 +366,78 @@ mod tests {
         assert!(text.contains("├─ map-wave"));
         assert!(text.contains("└─ shuffle"));
         assert!(text.contains("tasks=8"));
+    }
+
+    #[test]
+    fn critical_path_follows_the_longest_child() {
+        let mk = |name: &str, start_ms: u64, dur_ms: u64, children: Vec<SpanRecord>| SpanRecord {
+            name: name.to_string(),
+            start: Duration::from_millis(start_ms),
+            duration: Duration::from_millis(dur_ms),
+            attrs: Vec::new(),
+            children,
+        };
+        let root = mk(
+            "job",
+            0,
+            100,
+            vec![
+                mk("map-wave", 0, 80, vec![mk("map-1", 5, 70, vec![])]),
+                mk("reduce-wave", 80, 15, vec![]),
+            ],
+        );
+        let path: Vec<&str> = critical_path(&root)
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(path, vec!["job", "map-wave", "map-1"]);
+    }
+
+    #[test]
+    fn waterfall_marks_the_critical_path_and_draws_bars() {
+        let mk = |name: &str, start_ms: u64, dur_ms: u64, children: Vec<SpanRecord>| SpanRecord {
+            name: name.to_string(),
+            start: Duration::from_millis(start_ms),
+            duration: Duration::from_millis(dur_ms),
+            attrs: vec![("tasks".to_string(), "2".to_string())],
+            children,
+        };
+        let root = mk(
+            "job:range",
+            0,
+            100,
+            vec![mk("map-wave", 0, 90, vec![]), mk("shuffle", 90, 8, vec![])],
+        );
+        let text = format!("{}", Waterfall(&root));
+        assert!(text.contains("job:range"), "{text}");
+        assert!(text.contains("├─ map-wave"), "{text}");
+        assert!(text.contains('█'), "bars must be drawn: {text}");
+        assert!(
+            text.contains("critical path (◆): job:range → map-wave"),
+            "{text}"
+        );
+        assert!(text.contains("dominant phase: map-wave — 90% of"), "{text}");
+        // The critical-path marker lands on root and map-wave, not shuffle.
+        let marked: Vec<&str> = text.lines().filter(|l| l.ends_with('◆')).collect();
+        assert_eq!(marked.len(), 2, "{text}");
+        assert!(marked[0].contains("job:range"));
+        assert!(marked[1].contains("map-wave"));
+    }
+
+    #[test]
+    fn waterfall_bars_scale_with_offset_and_duration() {
+        // A short span late in the job must produce a bar whose filled
+        // cells sit at the right edge.
+        let bar = Waterfall::bar(
+            Duration::from_millis(90),
+            Duration::from_millis(10),
+            Duration::from_millis(100),
+        );
+        assert_eq!(bar.chars().filter(|&c| c == '█').count(), 3);
+        assert!(bar.ends_with("███▏"), "{bar}");
+        // Zero-duration spans still show one cell so they are visible.
+        let dot = Waterfall::bar(Duration::ZERO, Duration::ZERO, Duration::from_millis(100));
+        assert_eq!(dot.chars().filter(|&c| c == '█').count(), 1);
     }
 
     #[test]

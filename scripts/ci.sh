@@ -61,8 +61,12 @@ stage_test() {
 
 stage_chaos() {
   # The determinism loops run inside the test binary (SH_CHAOS_ITERS),
-  # so 10 iterations cost one cargo invocation, not ten.
+  # so 10 iterations cost one cargo invocation, not ten. The telemetry
+  # binary also streams its event journal to a JSONL file that the
+  # workflow uploads when a chaos run fails.
   SH_CHAOS_ITERS=10 cargo test -q --test fault_tolerance &&
+    SH_CHAOS_ITERS=10 SH_TELEMETRY_LOG=telemetry_chaos.jsonl \
+      cargo test -q --test telemetry &&
     SH_STRESS_MILLIS=2000 cargo test -q --test concurrency
 }
 
@@ -73,6 +77,9 @@ stage_bench() {
     cargo run -q -p sh-bench --release --bin throughput -- BENCH_throughput_ci.json &&
     echo "--- benchmark JSON artifacts must be well-formed" &&
     cargo run -q -p sh-bench --release --bin checkjson -- \
+      BENCH_hotpath_ci.json BENCH_throughput_ci.json &&
+    echo "--- trend gate (fail on >20% run-over-run regression)" &&
+    cargo run -q -p sh-bench --release --bin trendcheck -- \
       BENCH_hotpath_ci.json BENCH_throughput_ci.json
 }
 

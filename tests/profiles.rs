@@ -97,3 +97,30 @@ fn knn_profile_prunes_and_roundtrips_as_json() {
     assert_eq!(p, back, "JSON round-trip must be lossless");
     assert_eq!(back.to_json(), json);
 }
+
+#[test]
+fn phase_histogram_p99_is_sane() {
+    let dfs = Dfs::new(ClusterConfig::small_for_tests());
+    let file = indexed_points(&dfs);
+    let query = Rect::new(100_000.0, 100_000.0, 200_000.0, 200_000.0);
+    let r = range::range_spatial::<Point>(&dfs, &file, &query, "/out/range").unwrap();
+
+    let p = r.profile("range");
+    let map = p
+        .phases
+        .iter()
+        .find(|ph| ph.name == "map" && ph.tasks > 0)
+        .expect("the range job has a map phase");
+    let h = &map.task_micros;
+    assert!(h.count() > 0, "map phase must record task durations");
+    let (p50, p99, max) = (h.quantile(0.5), h.quantile(0.99), h.max());
+    assert!(
+        p50 <= p99 && p99 <= max,
+        "quantiles must be ordered: p50={p50} p99={p99} max={max}"
+    );
+    // Fewer than 100 map tasks means rank(0.99) == count, so the p99
+    // estimate collapses to the exact max — pin that, it is what STATS
+    // renders for small jobs.
+    assert!(h.count() < 100, "test workload stays under 100 map tasks");
+    assert_eq!(p99, max);
+}
