@@ -5,7 +5,26 @@
 //! ```
 //!
 //! Each file must parse as JSON and carry a non-empty string under the
-//! `benchmark` key; any violation exits non-zero naming the file.
+//! `benchmark` key; known benchmarks must additionally carry their
+//! numeric metric fields. Any violation exits non-zero naming the file.
+
+/// Numeric fields a known benchmark's artifact must carry beyond the
+/// generic shape — the trend gate and the format-comparison reports
+/// read these, so losing one silently breaks downstream checks.
+fn required_fields(benchmark: &str) -> &'static [&'static str] {
+    match benchmark {
+        "hotpath" => &[
+            "cold_secs",
+            "warm_secs_mean",
+            "speedup",
+            "text_cold_secs",
+            "binary_cold_secs",
+            "binary_speedup",
+        ],
+        "throughput" => &["concurrent_secs"],
+        _ => &[],
+    }
+}
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -31,12 +50,27 @@ fn main() {
                 continue;
             }
         };
-        match value.get("benchmark").and_then(|b| b.as_str()) {
-            Some(name) if !name.is_empty() => println!("ok {path}: benchmark \"{name}\""),
+        let name = match value.get("benchmark").and_then(|b| b.as_str()) {
+            Some(name) if !name.is_empty() => name.to_string(),
             _ => {
                 eprintln!("FAIL {path}: missing \"benchmark\" key");
                 failed = true;
+                continue;
             }
+        };
+        let missing: Vec<&str> = required_fields(&name)
+            .iter()
+            .filter(|f| value.get(f).and_then(|v| v.as_f64()).is_none())
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            println!("ok {path}: benchmark \"{name}\"");
+        } else {
+            eprintln!(
+                "FAIL {path}: benchmark \"{name}\" missing numeric field(s): {}",
+                missing.join(", ")
+            );
+            failed = true;
         }
     }
     if failed {

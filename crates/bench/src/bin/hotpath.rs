@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use sh_bench::{fresh_dfs, BLOCK};
 use sh_core::ops::{join, range};
-use sh_core::storage::{build_index, upload};
+use sh_core::storage::{build_index, build_index_fmt, upload, BlockFormat};
 use sh_geom::{Point, Rect};
 use sh_index::PartitionKind;
 use sh_workload::{default_universe, points, rects, Distribution};
@@ -125,6 +125,49 @@ fn main() {
     let speedup = cold / warm;
     let stats = dfs.cache().stats();
 
+    // Format comparison: the same cold range sweep over a text-format and
+    // a binary-format index of the same points. The cache is cleared
+    // before every query, so each one pays the full partition-open path —
+    // text parses every line, binary decodes coordinate columns.
+    let bfile = build_index_fmt::<Point>(
+        &dfs,
+        "/hp/points",
+        "/hp/bpoints",
+        PartitionKind::StrPlus,
+        BlockFormat::Binary,
+    )
+    .expect("binary index")
+    .value;
+    let cold_sweep = |file: &sh_core::SpatialFile, tag: &str| -> (f64, Vec<String>) {
+        let mut lines: Vec<String> = Vec::new();
+        let t0 = Instant::now();
+        for (qi, q) in queries.iter().enumerate() {
+            dfs.cache().clear();
+            let r = range::range_spatial::<Point>(&dfs, file, q, &format!("/hp/out/fmt-{tag}{qi}"))
+                .expect("format-comparison query");
+            let mut qlines: Vec<String> = r
+                .value
+                .iter()
+                .map(|p| {
+                    let mut s = String::new();
+                    use sh_geom::Record;
+                    p.write_line(&mut s);
+                    s
+                })
+                .collect();
+            qlines.sort();
+            lines.extend(qlines);
+        }
+        (t0.elapsed().as_secs_f64(), lines)
+    };
+    let (text_cold_secs, text_lines) = cold_sweep(&pfile, "t");
+    let (binary_cold_secs, binary_lines) = cold_sweep(&bfile, "b");
+    assert_eq!(
+        text_lines, binary_lines,
+        "text and binary indexes returned different results"
+    );
+    let binary_speedup = text_cold_secs / binary_cold_secs;
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"benchmark\": \"hotpath\",\n");
@@ -136,6 +179,9 @@ fn main() {
     json.push_str(&format!("  \"cold_secs\": {cold:.6},\n"));
     json.push_str(&format!("  \"warm_secs_mean\": {warm:.6},\n"));
     json.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    json.push_str(&format!("  \"text_cold_secs\": {text_cold_secs:.6},\n"));
+    json.push_str(&format!("  \"binary_cold_secs\": {binary_cold_secs:.6},\n"));
+    json.push_str(&format!("  \"binary_speedup\": {binary_speedup:.2},\n"));
     json.push_str(&format!(
         "  \"cache\": {{\"budget_bytes\": {}, \"resident_bytes\": {}, \"resident_entries\": {}, \"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n",
         dfs.cache().budget(),
@@ -164,6 +210,10 @@ fn main() {
         ITERATIONS - 1
     );
     println!(
+        "format: text cold {text_cold_secs:.3}s, binary cold {binary_cold_secs:.3}s, \
+         binary {binary_speedup:.2}x faster"
+    );
+    println!(
         "cache: {} hits / {} misses / {} evictions, {} entries, {} KiB resident",
         stats.hits,
         stats.misses,
@@ -175,6 +225,10 @@ fn main() {
 
     if warm > cold {
         eprintln!("FAIL: warm path slower than cold ({warm:.3}s > {cold:.3}s)");
+        std::process::exit(1);
+    }
+    if binary_speedup < 1.5 {
+        eprintln!("FAIL: binary cold scan not >=1.5x faster than text ({binary_speedup:.2}x)");
         std::process::exit(1);
     }
 }

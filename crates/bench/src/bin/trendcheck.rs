@@ -56,6 +56,20 @@ fn main() {
         };
         match trend::extract_entry(&doc) {
             Some(e) => {
+                // Concurrency metrics from a starved host say nothing
+                // about the code; keep them out of the trend baseline.
+                let cores = sh_bench::cores();
+                if trend::is_concurrency_metric(&e.benchmark)
+                    && cores < trend::MIN_CONCURRENCY_CORES
+                {
+                    println!(
+                        "trend: {path}: {}.{} skipped (cores {cores} < {})",
+                        e.benchmark,
+                        e.metric,
+                        trend::MIN_CONCURRENCY_CORES
+                    );
+                    continue;
+                }
                 println!(
                     "trend: {path}: {}.{} = {:.6}",
                     e.benchmark, e.metric, e.value

@@ -67,6 +67,18 @@ fn primary_metric(benchmark: &str) -> Option<&'static str> {
     }
 }
 
+/// Minimum core count for concurrency metrics to be meaningful: below
+/// this, concurrent and serial execution degenerate to the same thing
+/// and a recorded value would poison the trend baseline for real runs.
+pub const MIN_CONCURRENCY_CORES: usize = 4;
+
+/// True for metrics that only measure something on a multi-core host.
+/// Runs on fewer than [`MIN_CONCURRENCY_CORES`] cores must not append
+/// these to the trend history.
+pub fn is_concurrency_metric(benchmark: &str) -> bool {
+    benchmark == "throughput"
+}
+
 /// Extracts the tracked entry from one parsed bench artifact. Returns
 /// `None` for benchmarks without a primary metric (they are checked for
 /// well-formedness by `checkjson` but not trended).
@@ -238,6 +250,13 @@ mod tests {
 
         let unknown = json::parse(r#"{"benchmark": "mystery", "secs": 1.0}"#).unwrap();
         assert_eq!(extract_entry(&unknown), None);
+    }
+
+    #[test]
+    fn concurrency_metrics_are_flagged() {
+        assert!(is_concurrency_metric("throughput"));
+        assert!(!is_concurrency_metric("hotpath"));
+        assert!(MIN_CONCURRENCY_CORES >= 2);
     }
 
     #[test]

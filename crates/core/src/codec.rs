@@ -18,12 +18,14 @@ fn corrupt(what: &str, s: &str) -> OpError {
     OpError::Corrupt(format!("bad {what} payload: {preview:?}"))
 }
 
-/// Parses a whitespace-separated run of floats, rejecting NaN.
+/// Parses a whitespace-separated run of floats, rejecting every
+/// non-finite value — an `inf` coordinate would poison MBRs and
+/// partition boundaries just as silently as a NaN.
 fn decode_floats(s: &str, what: &str) -> Result<Vec<f64>, OpError> {
     let mut nums = Vec::new();
     for tok in s.split_ascii_whitespace() {
         let v: f64 = tok.parse().map_err(|_| corrupt(what, s))?;
-        if v.is_nan() {
+        if !v.is_finite() {
             return Err(corrupt(what, s));
         }
         nums.push(v);
@@ -157,6 +159,11 @@ mod tests {
             decode_rects("NaN 1 2 3"),
             Err(OpError::Corrupt(_))
         ));
+        assert!(matches!(
+            decode_rects("inf 1 2 3"),
+            Err(OpError::Corrupt(_))
+        ));
+        assert!(matches!(decode_points("1 -inf"), Err(OpError::Corrupt(_))));
         assert!(matches!(decode_pair("1 2 3 4"), Err(OpError::Corrupt(_))));
         assert!(matches!(
             decode_pair("1 2 3 4 5 6 7 boom"),

@@ -60,6 +60,7 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod colblock;
 pub mod mrlayer;
 pub mod opresult;
 pub mod ops;

@@ -1,6 +1,7 @@
 //! The spatial MapReduce layer: SpatialFileSplitter, SpatialRecordReader,
 //! and the reference-point duplicate-avoidance rule.
 
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use sh_dfs::{Dfs, DfsError};
@@ -9,6 +10,8 @@ use sh_index::{owns_point, LocalRTree};
 use sh_mapreduce::InputSplit;
 
 use crate::catalog::SpatialFile;
+use crate::colblock::{self, ColumnarBlock};
+use crate::opresult::OpError;
 
 /// Sidecar path of a partition file: `.../part-NNNNN` →
 /// `.../_lidx-NNNNN`. `None` for paths that are not partition files
@@ -78,13 +81,17 @@ pub struct SpatialRecordReader;
 impl SpatialRecordReader {
     /// Parses every line of a split as a record.
     ///
-    /// Map tasks treat unparseable lines as data corruption and panic
-    /// (Hadoop would fail the task attempt); loaders validate input, so
-    /// this never fires on files written by this crate.
+    /// Map tasks treat unparseable lines as data corruption; the task
+    /// (and, without retry, the job) fails cleanly via
+    /// [`sh_mapreduce::fail_corrupt`]. Loaders validate input, so this
+    /// never fires on files written by this crate.
     pub fn records<R: Record>(data: &str) -> Vec<R> {
         data.lines()
             .filter(|l| !l.trim().is_empty())
-            .map(|l| R::parse_line(l).expect("corrupt record in partition"))
+            .map(|l| {
+                R::parse_line(l)
+                    .unwrap_or_else(|e| sh_mapreduce::fail_corrupt(format!("{e}: {l:?}")))
+            })
             .collect()
     }
 
@@ -119,11 +126,7 @@ impl SpatialRecordReader {
         // the epoch check below drops the stale insert.
         let epoch = dfs.cache().epoch();
         let records = Self::records::<R>(data);
-        let tree = local_index_path(path)
-            .filter(|p| dfs.exists(p))
-            .and_then(|p| dfs.read_to_string(&p).ok())
-            .and_then(|text| LocalRTree::from_text(&text).ok())
-            .filter(|t| t.len() == records.len())
+        let tree = load_sidecar(dfs, path, records.len())
             .unwrap_or_else(|| LocalRTree::build(records.iter().map(|r| r.mbr()).collect()));
         let part = Arc::new((records, tree));
         // Accounted size: parsed records + tree rects dominate; the text
@@ -132,6 +135,242 @@ impl SpatialRecordReader {
             (data.len() + part.0.len() * std::mem::size_of::<R>() + part.1.len() * 32) as u64;
         dfs.cache().put_at(path, part.clone(), bytes, epoch);
         (part, false)
+    }
+
+    /// Parses split bytes as records, sniffing the columnar-block header:
+    /// `SHCB` data decodes through the binary path, anything else is
+    /// treated as UTF-8 text. Corrupt bytes in either format are
+    /// [`OpError::Corrupt`].
+    pub fn records_bytes<R: Record>(data: &[u8]) -> Result<Vec<R>, OpError> {
+        if colblock::is_binary(data) {
+            return Ok(colblock::decode(data)?.records::<R>());
+        }
+        let text = std::str::from_utf8(data)
+            .map_err(|e| OpError::Corrupt(format!("partition is not UTF-8 text: {e}")))?;
+        sh_geom::text::parse_records(text).map_err(|e| OpError::Corrupt(e.to_string()))
+    }
+
+    /// Map-task variant of [`SpatialRecordReader::records_bytes`]:
+    /// corrupt bytes fail the task (and the job) cleanly via
+    /// [`sh_mapreduce::fail_corrupt`] instead of panicking the worker.
+    pub fn task_records_bytes<R: Record>(split_path: &str, data: &[u8]) -> Vec<R> {
+        match Self::records_bytes(data) {
+            Ok(records) => records,
+            Err(e) => sh_mapreduce::fail_corrupt(format!("{split_path}: {e}")),
+        }
+    }
+
+    /// Format-sniffing, cache-backed partition open: the binary-capable
+    /// superset of [`SpatialRecordReader::open_indexed`]. Binary blocks
+    /// decode into shared coordinate columns (warm reads are zero-copy);
+    /// text partitions take the existing parse path. Returns the
+    /// partition and whether the cache was hit.
+    pub fn open_indexed_bytes<R: Record>(
+        dfs: &Dfs,
+        path: &str,
+        data: &[u8],
+    ) -> Result<(Partition<R>, bool), OpError> {
+        if !colblock::is_binary(data) {
+            let text = std::str::from_utf8(data)
+                .map_err(|e| OpError::Corrupt(format!("{path}: partition is not UTF-8: {e}")))?;
+            let (part, hit) = Self::open_indexed::<R>(dfs, path, text);
+            return Ok((Partition::Text(part), hit));
+        }
+        if let Some(hit) = dfs.cache().get(path) {
+            if let Ok(part) = hit.downcast::<BinaryPartition>() {
+                return Ok((Partition::Binary(part), true));
+            }
+        }
+        let epoch = dfs.cache().epoch();
+        let block = colblock::decode(data)?;
+        let tree = load_sidecar(dfs, path, block.count)
+            .unwrap_or_else(|| LocalRTree::build((0..block.count).map(|i| block.mbr(i)).collect()));
+        let bytes = (block.resident_bytes() + tree.len() * 32) as u64;
+        let part = Arc::new(BinaryPartition { block, tree });
+        dfs.cache().put_at(path, part.clone(), bytes, epoch);
+        Ok((Partition::Binary(part), false))
+    }
+
+    /// Map-task variant of [`SpatialRecordReader::open_indexed_bytes`]:
+    /// corrupt partition data fails the task cleanly.
+    pub fn task_open_indexed_bytes<R: Record>(
+        dfs: &Dfs,
+        split_path: &str,
+        data: &[u8],
+    ) -> (Partition<R>, bool) {
+        match Self::open_indexed_bytes(dfs, split_path, data) {
+            Ok(v) => v,
+            Err(e) => sh_mapreduce::fail_corrupt(format!("{split_path}: {e}")),
+        }
+    }
+
+    /// Presents split bytes to a line-oriented map function as text
+    /// whatever the stored layout: binary columnar blocks are
+    /// materialized back into record lines (exact — `f64` round-trips
+    /// through the text codec), text passes through borrowed. Corrupt
+    /// bytes in either format fail the task cleanly. Operations with a
+    /// native columnar path (range, distributed join, kNN) never pay
+    /// the materialization.
+    pub fn task_text<'a, R: Record>(split_path: &str, data: &'a [u8]) -> Cow<'a, str> {
+        if colblock::is_binary(data) {
+            let records = Self::task_records_bytes::<R>(split_path, data);
+            let mut text = String::new();
+            for r in &records {
+                r.write_line(&mut text);
+                text.push('\n');
+            }
+            return Cow::Owned(text);
+        }
+        match std::str::from_utf8(data) {
+            Ok(t) => Cow::Borrowed(t),
+            Err(e) => {
+                sh_mapreduce::fail_corrupt(format!("{split_path}: input is not UTF-8 text: {e}"))
+            }
+        }
+    }
+
+    /// Two-input variant of [`SpatialRecordReader::task_text`]: cuts at
+    /// the split's recorded byte offset, then converts each side
+    /// independently — a pair split can mix a binary partition with a
+    /// text side file.
+    pub fn task_text_pair<'a, R: Record>(
+        split: &InputSplit,
+        data: &'a [u8],
+    ) -> (Cow<'a, str>, Cow<'a, str>) {
+        let (a, b) = split.split_data_bytes(data);
+        (
+            Self::task_text::<R>(&split.path, a),
+            Self::task_text::<R>(&split.path, b),
+        )
+    }
+
+    /// Opens a partition for a one-shot linear scan: no cache, no tree —
+    /// the ablation path. Binary blocks keep their columnar layout so
+    /// [`Partition::scan_filter`] still runs the zero-copy loop.
+    pub fn open_scan<R: Record>(split_path: &str, data: &[u8]) -> Partition<R> {
+        if colblock::is_binary(data) {
+            match colblock::decode(data) {
+                Ok(block) => Partition::Binary(Arc::new(BinaryPartition {
+                    tree: LocalRTree::build(Vec::new()),
+                    block,
+                })),
+                Err(e) => sh_mapreduce::fail_corrupt(format!("{split_path}: {e}")),
+            }
+        } else {
+            let records = Self::task_records_bytes::<R>(split_path, data);
+            Partition::Text(Arc::new((records, LocalRTree::build(Vec::new()))))
+        }
+    }
+}
+
+/// Loads the persisted `_lidx` sidecar of `part_path`, sniffing binary
+/// (`SHLX`) vs. text encodings. Returns `None` — caller rebuilds — when
+/// the sidecar is missing, unreadable, corrupt, truncated, of the wrong
+/// version, or stale (cardinality mismatch): the same fallback for every
+/// failure mode, in either encoding.
+fn load_sidecar(dfs: &Dfs, part_path: &str, expected_len: usize) -> Option<LocalRTree> {
+    let p = local_index_path(part_path)?;
+    if !dfs.exists(&p) {
+        return None;
+    }
+    let raw = dfs.read_bytes(&p).ok()?;
+    let tree = if LocalRTree::is_binary_sidecar(&raw) {
+        LocalRTree::from_bytes(&raw).ok()?
+    } else {
+        LocalRTree::from_text(std::str::from_utf8(&raw).ok()?).ok()?
+    };
+    (tree.len() == expected_len).then_some(tree)
+}
+
+/// A partition opened through [`SpatialRecordReader::open_indexed_bytes`]:
+/// parsed text records or decoded binary columns, each with the
+/// partition's local R-tree, shared via the block cache.
+pub enum Partition<R: Record> {
+    /// Text partition: parsed records + tree.
+    Text(Arc<(Vec<R>, LocalRTree)>),
+    /// Binary partition: columnar block + tree.
+    Binary(Arc<BinaryPartition>),
+}
+
+impl<R: Record> Clone for Partition<R> {
+    fn clone(&self) -> Self {
+        match self {
+            Partition::Text(p) => Partition::Text(p.clone()),
+            Partition::Binary(p) => Partition::Binary(p.clone()),
+        }
+    }
+}
+
+/// Decoded binary partition (see [`Partition::Binary`]).
+pub struct BinaryPartition {
+    /// Shared coordinate columns.
+    pub block: ColumnarBlock,
+    /// Local R-tree over the block's MBRs.
+    pub tree: LocalRTree,
+}
+
+impl<R: Record> Partition<R> {
+    /// Number of records in the partition.
+    pub fn len(&self) -> usize {
+        match self {
+            Partition::Text(p) => p.0.len(),
+            Partition::Binary(p) => p.block.count,
+        }
+    }
+
+    /// True when the partition holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The partition's local R-tree.
+    pub fn tree(&self) -> &LocalRTree {
+        match self {
+            Partition::Text(p) => &p.1,
+            Partition::Binary(p) => &p.tree,
+        }
+    }
+
+    /// MBR of record `i`.
+    #[inline]
+    pub fn mbr_of(&self, i: usize) -> Rect {
+        match self {
+            Partition::Text(p) => p.0[i].mbr(),
+            Partition::Binary(p) => p.block.mbr(i),
+        }
+    }
+
+    /// Materializes record `i`.
+    pub fn record(&self, i: usize) -> R {
+        match self {
+            Partition::Text(p) => p.0[i].clone(),
+            Partition::Binary(p) => p.block.record::<R>(i),
+        }
+    }
+
+    /// Appends record `i`'s text encoding to `out` (result lines stay
+    /// text in both formats, so outputs are byte-identical).
+    pub fn write_record(&self, i: usize, out: &mut String) {
+        match self {
+            Partition::Text(p) => p.0[i].write_line(out),
+            Partition::Binary(p) => p.block.record::<R>(i).write_line(out),
+        }
+    }
+
+    /// Indices of records whose MBR intersects `q` without consulting
+    /// the tree — text scans the parsed records, binary iterates the
+    /// coordinate columns directly (the zero-copy hot loop).
+    pub fn scan_filter(&self, q: &Rect) -> Vec<usize> {
+        match self {
+            Partition::Text(p) => {
+                p.0.iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.mbr().intersects(q))
+                    .map(|(i, _)| i)
+                    .collect()
+            }
+            Partition::Binary(p) => p.block.mbr_filter(q),
+        }
     }
 }
 
@@ -282,6 +521,106 @@ mod tests {
         let data = dfs.read_to_string("/idx/part-00001").unwrap();
         let (part, _) = SpatialRecordReader::open_indexed::<Point>(&dfs, "/idx/part-00001", &data);
         assert_eq!(part.1.len(), 3, "stale sidecar ignored");
+    }
+
+    fn write_bytes(dfs: &Dfs, path: &str, data: &[u8]) {
+        let mut w = dfs.create(path).unwrap();
+        w.write_chunk(data);
+        w.close();
+    }
+
+    #[test]
+    fn open_indexed_bytes_dispatches_on_format_and_caches() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let pts = vec![
+            Point::new(1.0, 2.0),
+            Point::new(3.0, 4.0),
+            Point::new(5.0, 6.0),
+        ];
+        let blob = colblock::encode(&pts).unwrap();
+        write_bytes(&dfs, "/idx/part-00000", &blob);
+        let data = dfs.read_bytes("/idx/part-00000").unwrap();
+        let q = Rect::new(2.0, 3.0, 4.0, 5.0);
+
+        let (part, hit) =
+            SpatialRecordReader::open_indexed_bytes::<Point>(&dfs, "/idx/part-00000", &data)
+                .unwrap();
+        assert!(!hit, "first open is a miss");
+        assert_eq!(part.len(), 3);
+        assert_eq!(part.tree().query(&q), vec![1]);
+        assert_eq!(part.scan_filter(&q), vec![1]);
+        assert_eq!(part.record(1), Point::new(3.0, 4.0));
+
+        let (again, hit) =
+            SpatialRecordReader::open_indexed_bytes::<Point>(&dfs, "/idx/part-00000", &data)
+                .unwrap();
+        assert!(hit, "second open is a hit");
+        match (&part, &again) {
+            (Partition::Binary(a), Partition::Binary(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => panic!("binary partitions expected"),
+        }
+
+        // Text data takes the text path through the same entry point.
+        dfs.write_string("/idx/part-00001", "1 2\n3 4\n5 6\n")
+            .unwrap();
+        let tdata = dfs.read_bytes("/idx/part-00001").unwrap();
+        let (tpart, _) =
+            SpatialRecordReader::open_indexed_bytes::<Point>(&dfs, "/idx/part-00001", &tdata)
+                .unwrap();
+        assert!(matches!(tpart, Partition::Text(_)));
+        assert_eq!(tpart.scan_filter(&q), vec![1]);
+
+        // Corrupt SHCB data (valid magic, truncated payload) is an error,
+        // not a panic.
+        assert!(matches!(
+            SpatialRecordReader::open_indexed_bytes::<Point>(
+                &dfs,
+                "/idx/part-00002",
+                &blob[..blob.len() - 3]
+            ),
+            Err(OpError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_binary_sidecar_falls_back_to_rebuild() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let pts = vec![
+            Point::new(1.0, 1.0),
+            Point::new(9.0, 9.0),
+            Point::new(5.0, 5.0),
+        ];
+        let blob = colblock::encode(&pts).unwrap();
+        let good = LocalRTree::build(pts.iter().map(|p| Record::mbr(p)).collect()).to_bytes();
+        let mut flipped = good.clone();
+        flipped[4] ^= 0x7f; // version byte
+        let cases: [(&str, &[u8]); 3] = [
+            ("/f0/part-00000", &good[..4.min(good.len())]), // truncated header
+            ("/f1/part-00000", &flipped),                   // wrong version
+            ("/f2/part-00000", &good[..good.len() - 5]),    // truncated payload
+        ];
+        let q = Rect::new(0.0, 0.0, 6.0, 6.0);
+        for (part_path, sidecar_bytes) in cases {
+            write_bytes(&dfs, part_path, &blob);
+            write_bytes(&dfs, &local_index_path(part_path).unwrap(), sidecar_bytes);
+            let data = dfs.read_bytes(part_path).unwrap();
+            let (part, _) =
+                SpatialRecordReader::open_indexed_bytes::<Point>(&dfs, part_path, &data).unwrap();
+            // The rebuilt tree still answers correctly.
+            assert_eq!(part.tree().len(), 3, "{part_path}: rebuilt from records");
+            let mut hits = part.tree().query(&q);
+            hits.sort_unstable();
+            assert_eq!(hits, vec![0, 2], "{part_path}");
+        }
+
+        // And a pristine binary sidecar is actually used, not rebuilt.
+        write_bytes(&dfs, "/ok/part-00000", &blob);
+        write_bytes(&dfs, "/ok/_lidx-00000", &good);
+        let data = dfs.read_bytes("/ok/part-00000").unwrap();
+        let (part, _) =
+            SpatialRecordReader::open_indexed_bytes::<Point>(&dfs, "/ok/part-00000", &data)
+                .unwrap();
+        assert_eq!(part.tree().to_bytes(), good, "sidecar loaded verbatim");
     }
 
     #[test]

@@ -39,7 +39,13 @@ impl std::error::Error for OpError {}
 
 impl From<JobError> for OpError {
     fn from(e: JobError) -> Self {
-        OpError::Job(e)
+        match e {
+            // A task that hit corrupt input surfaces under the same
+            // error the driver-side readers use, honouring the codec.rs
+            // contract regardless of which side spotted the bad bytes.
+            JobError::CorruptInput(m) => OpError::Corrupt(m),
+            e => OpError::Job(e),
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use sh_geom::{Record, Rect};
 use sh_mapreduce::{InputSplit, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 
 use crate::catalog::SpatialFile;
+use crate::mrlayer::SpatialRecordReader;
 use crate::opresult::{OpError, OpResult};
 
 /// Dataset statistics.
@@ -37,7 +38,7 @@ impl<R: Record> Mapper for StatsMapper<R> {
 
     fn map(
         &self,
-        _split: &InputSplit,
+        split: &InputSplit,
         data: &str,
         ctx: &mut MapContext<u8, (u64, u64, f64, f64, f64, f64)>,
     ) {
@@ -45,12 +46,24 @@ impl<R: Record> Mapper for StatsMapper<R> {
         let mut records = 0u64;
         let mut bytes = 0u64;
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
-            let r = R::parse_line(line).expect("corrupt record");
+            let r = R::parse_line(line).unwrap_or_else(|e| {
+                sh_mapreduce::fail_corrupt(format!("{}: {e}: {line:?}", split.path))
+            });
             mbr.expand(&r.mbr());
             records += 1;
             bytes += line.len() as u64 + 1;
         }
         ctx.emit(1, (records, bytes, mbr.x1, mbr.y1, mbr.x2, mbr.y2));
+    }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<u8, (u64, u64, f64, f64, f64, f64)>,
+    ) {
+        let text = SpatialRecordReader::task_text::<R>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 

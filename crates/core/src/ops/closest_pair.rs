@@ -47,6 +47,11 @@ impl Mapper for LocalClosestPairMapper {
         ctx.counter("closestpair.candidates", forwarded);
         ctx.counter("closestpair.points", points.len() as u64);
     }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 struct GlobalClosestPairReducer;

@@ -37,6 +37,11 @@ impl Mapper for LocalHullMapper {
             ctx.emit(1, (p.x, p.y));
         }
     }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 struct GlobalHullReducer;
@@ -270,6 +275,11 @@ impl Mapper for EnhancedHullMapper {
                 ctx.inc(candidates, 1);
             }
         }
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 

@@ -125,6 +125,16 @@ impl Mapper for LocalDtMapper {
             }
         }
     }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<u8, (u8, u64, f64, f64)>,
+    ) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 /// Collecting reducer: the merge runs on the driver, so the lone reducer
@@ -263,6 +273,11 @@ impl Mapper for StripDtMapper {
                 .clamp(0.0, self.strips as f64 - 1.0) as u64;
             ctx.emit(s, (p.x, p.y));
         }
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u64, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 

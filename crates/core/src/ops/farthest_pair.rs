@@ -40,6 +40,11 @@ impl Mapper for HullForwardMapper {
             ctx.emit(1, (p.x, p.y));
         }
     }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 struct CalipersReducer;
@@ -85,9 +90,18 @@ impl Mapper for PairFarthestMapper {
     type V = (f64, f64, f64, f64);
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, (f64, f64, f64, f64)>) {
-        let (a_text, b_text) = split.split_data(data);
-        let mut points = SpatialRecordReader::records::<Point>(a_text);
-        points.extend(SpatialRecordReader::records::<Point>(b_text));
+        self.map_bytes(split, data.as_bytes(), ctx);
+    }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<u8, (f64, f64, f64, f64)>,
+    ) {
+        let (a_text, b_text) = SpatialRecordReader::task_text_pair::<Point>(split, data);
+        let mut points = SpatialRecordReader::records::<Point>(&a_text);
+        points.extend(SpatialRecordReader::records::<Point>(&b_text));
         let hull = convex_hull(&points);
         if let Some(pair) = farthest_pair_on_hull(&hull) {
             ctx.emit(1, (pair.a.x, pair.a.y, pair.b.x, pair.b.y));

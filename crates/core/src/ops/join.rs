@@ -20,7 +20,7 @@ use sh_mapreduce::{
 
 use crate::catalog::SpatialFile;
 use crate::codec::{decode_pair, write_pair};
-use crate::mrlayer::{reference_point, SpatialRecordReader};
+use crate::mrlayer::{reference_point, Partition, SpatialRecordReader};
 use crate::opresult::{OpError, OpResult};
 use sh_trace::Selectivity;
 
@@ -42,6 +42,16 @@ impl Mapper for SjmrMapper {
                 ctx.inc(replicated, 1);
             }
         }
+    }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<u64, (u32, [f64; 4])>,
+    ) {
+        let text = SpatialRecordReader::task_text::<Rect>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 
@@ -128,23 +138,43 @@ impl Mapper for DjMapper {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        self.map_bytes(split, data.as_bytes(), ctx);
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
         let cache_hits = ctx.register_counter("cache.hits");
         let cache_misses = ctx.register_counter("cache.misses");
-        let (left_text, right_text) = split.split_data(data);
+        let (left_data, right_data) = split.split_data_bytes(data);
         // A partition typically appears in several overlapping pairs, so
         // each side goes through the per-node cache independently.
         let (path_a, path_b) = split
             .path
             .split_once('+')
             .expect("dj split path is pathA+pathB");
-        let (left, left_hit) =
-            SpatialRecordReader::open_indexed::<Rect>(&self.dfs, path_a, left_text);
-        let (right, right_hit) =
-            SpatialRecordReader::open_indexed::<Rect>(&self.dfs, path_b, right_text);
+        let (lpart, left_hit) =
+            SpatialRecordReader::task_open_indexed_bytes::<Rect>(&self.dfs, path_a, left_data);
+        let (rpart, right_hit) =
+            SpatialRecordReader::task_open_indexed_bytes::<Rect>(&self.dfs, path_b, right_data);
         for hit in [left_hit, right_hit] {
             ctx.inc(if hit { cache_hits } else { cache_misses }, 1);
         }
-        let (left, right) = (&left.0, &right.0);
+        // The plane sweep wants rect slices; binary partitions
+        // materialize theirs from the coordinate columns.
+        let (left_owned, right_owned);
+        let left: &[Rect] = match &lpart {
+            Partition::Text(p) => &p.0,
+            Partition::Binary(p) => {
+                left_owned = p.block.records::<Rect>();
+                &left_owned
+            }
+        };
+        let right: &[Rect] = match &rpart {
+            Partition::Text(p) => &p.0,
+            Partition::Binary(p) => {
+                right_owned = p.block.records::<Rect>();
+                &right_owned
+            }
+        };
         // aux carries: cellA(4) cellB(4) uniA(4) uniB(4)
         let aux: Vec<f64> = split
             .aux

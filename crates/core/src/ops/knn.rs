@@ -45,6 +45,11 @@ impl Mapper for KnnScanMapper {
             ctx.emit(1, (p.x, p.y));
         }
     }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 struct KnnMergeReducer {
@@ -96,15 +101,22 @@ impl<R: Record> Mapper for KnnIndexMapper<R> {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
-        // One cached open gives both the records and the local tree
-        // (previously this parsed the partition twice).
-        let (part, hit) = SpatialRecordReader::open_indexed::<Point>(&self.dfs, &split.path, data);
+        self.map_bytes(split, data.as_bytes(), ctx);
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
+        // One cached open gives both the records and the local tree,
+        // text or binary alike.
+        let (part, hit) =
+            SpatialRecordReader::task_open_indexed_bytes::<Point>(&self.dfs, &split.path, data);
         let h = ctx.register_counter(if hit { "cache.hits" } else { "cache.misses" });
         ctx.inc(h, 1);
-        let (points, tree) = (&part.0, &part.1);
         // The local index answers the kNN directly (best-first search).
-        for (i, _) in tree.knn(&self.q, self.k) {
-            ctx.output(points[i].to_line());
+        let mut line = String::with_capacity(48);
+        for (i, _) in part.tree().knn(&self.q, self.k) {
+            line.clear();
+            part.write_record(i, &mut line);
+            ctx.output(line.clone());
         }
     }
 }

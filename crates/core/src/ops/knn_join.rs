@@ -27,6 +27,7 @@ use sh_index::LocalRTree;
 use sh_mapreduce::{InputSplit, JobBuilder, MapContext, Mapper};
 
 use crate::catalog::SpatialFile;
+use crate::mrlayer::SpatialRecordReader;
 use crate::opresult::{OpError, OpResult};
 
 /// One joined row: the `R` point and its neighbours, nearest first.
@@ -83,10 +84,14 @@ impl Mapper for Round1Mapper {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        self.map_bytes(split, data.as_bytes(), ctx);
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
         let pid = split.partition_id.expect("spatial split");
-        let (r_text, s_text) = split.split_data(data);
-        let r_points: Vec<Point> = parse_points(r_text);
-        let mut s_points: Vec<Point> = parse_points(s_text);
+        let (r_text, s_text) = SpatialRecordReader::task_text_pair::<Point>(split, data);
+        let r_points: Vec<Point> = parse_points(&r_text);
+        let mut s_points: Vec<Point> = parse_points(&s_text);
         sort_dedup(&mut s_points);
         let tree = LocalRTree::build(s_points.iter().map(|p| p.to_rect()).collect());
 
@@ -147,9 +152,13 @@ impl Mapper for Round2Mapper {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
-        let (pending_text, s_text) = split.split_data(data);
-        let pending: Vec<Point> = parse_points(pending_text);
-        let mut s_points: Vec<Point> = parse_points(s_text);
+        self.map_bytes(split, data.as_bytes(), ctx);
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
+        let (pending_text, s_text) = SpatialRecordReader::task_text_pair::<Point>(split, data);
+        let pending: Vec<Point> = parse_points(&pending_text);
+        let mut s_points: Vec<Point> = parse_points(&s_text);
         sort_dedup(&mut s_points);
         let tree = LocalRTree::build(s_points.iter().map(|p| p.to_rect()).collect());
         for r in &pending {
@@ -161,10 +170,7 @@ impl Mapper for Round2Mapper {
 }
 
 fn parse_points(text: &str) -> Vec<Point> {
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(|l| Point::parse_line(l).expect("corrupt point"))
-        .collect()
+    SpatialRecordReader::records::<Point>(text)
 }
 
 /// Distributed kNN join (`R` must be a disjoint index; `S` any index).

@@ -16,7 +16,7 @@ use sh_geom::{Record, Rect};
 use sh_mapreduce::{InputSplit, JobBuilder, MapContext, Mapper, ReduceContext, Reducer};
 
 use crate::catalog::SpatialFile;
-use crate::mrlayer::SpatialFileSplitter;
+use crate::mrlayer::{SpatialFileSplitter, SpatialRecordReader};
 use crate::opresult::{OpError, OpResult};
 
 /// A density raster: `width x height` pixel counts, row 0 at the top.
@@ -112,12 +112,13 @@ impl<R: Record> Mapper for PlotMapper<R> {
     /// HadoopViz tiles.
     type V = (u32, Vec<u32>);
 
-    fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u32, (u32, Vec<u32>)>) {
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u32, (u32, Vec<u32>)>) {
         let mut tile = Raster::new(self.width, self.height);
-        let records = data
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .map(|l| R::parse_line(l).expect("corrupt record"));
+        let records = data.lines().filter(|l| !l.trim().is_empty()).map(|l| {
+            R::parse_line(l).unwrap_or_else(|e| {
+                sh_mapreduce::fail_corrupt(format!("{}: {e}: {l:?}", split.path))
+            })
+        });
         rasterize(records, &self.universe, &mut tile);
         for (row_ix, row) in tile.pixels.chunks(self.width).enumerate() {
             let Some(first) = row.iter().position(|&v| v > 0) else {
@@ -126,6 +127,16 @@ impl<R: Record> Mapper for PlotMapper<R> {
             let last = row.iter().rposition(|&v| v > 0).unwrap_or(first);
             ctx.emit(row_ix as u32, (first as u32, row[first..=last].to_vec()));
         }
+    }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<u32, (u32, Vec<u32>)>,
+    ) {
+        let text = SpatialRecordReader::task_text::<R>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 
@@ -242,13 +253,18 @@ impl<R: Record> Mapper for PyramidMapper<R> {
     type K = (u8, u32, u32);
     type V = Vec<u32>;
 
-    fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<(u8, u32, u32), Vec<u32>>) {
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<(u8, u32, u32), Vec<u32>>) {
         use std::collections::HashMap;
         let w = self.universe.width().max(1e-12);
         let h = self.universe.height().max(1e-12);
         let mut tiles: HashMap<(u8, u32, u32), Vec<u32>> = HashMap::new();
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
-            let c = R::parse_line(line).expect("corrupt record").mbr().center();
+            let c = R::parse_line(line)
+                .unwrap_or_else(|e| {
+                    sh_mapreduce::fail_corrupt(format!("{}: {e}: {line:?}", split.path))
+                })
+                .mbr()
+                .center();
             for level in 0..self.levels {
                 let res = (1usize << level) * self.tile_px; // pixels per axis
                 let px = (((c.x - self.universe.x1) / w) * res as f64)
@@ -272,6 +288,16 @@ impl<R: Record> Mapper for PyramidMapper<R> {
         for (key, tile) in tiles {
             ctx.emit(key, tile);
         }
+    }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<(u8, u32, u32), Vec<u32>>,
+    ) {
+        let text = SpatialRecordReader::task_text::<R>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 

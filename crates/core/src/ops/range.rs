@@ -29,15 +29,22 @@ impl<R: Record> Mapper for ScanMapper<R> {
     type K = u8;
     type V = u8;
 
-    fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
         let results = ctx.register_counter("range.results");
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
-            let r = R::parse_line(line).expect("corrupt record");
+            let r = R::parse_line(line).unwrap_or_else(|e| {
+                sh_mapreduce::fail_corrupt(format!("{}: {e}: {line:?}", split.path))
+            });
             if r.mbr().intersects(&self.query) {
                 ctx.output(line.to_string());
                 ctx.inc(results, 1);
             }
         }
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
+        let text = SpatialRecordReader::task_text::<R>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 
@@ -55,32 +62,32 @@ impl<R: Record> Mapper for IndexedMapper<R> {
     type V = u8;
 
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u8, u8>) {
+        self.map_bytes(split, data.as_bytes(), ctx);
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
         let cell = split_cell(split);
         let results = ctx.register_counter("range.results");
         let dup_skipped = ctx.register_counter("range.duplicates.skipped");
-        let (records, hits) = if self.local_index {
-            // Cached path: parsed records + persisted local tree, shared
-            // across queries over the same partition.
-            let (part, hit) = SpatialRecordReader::open_indexed::<R>(&self.dfs, &split.path, data);
+        let (part, hits) = if self.local_index {
+            // Cached path: decoded partition + persisted local tree,
+            // shared across queries over the same partition.
+            let (part, hit) =
+                SpatialRecordReader::task_open_indexed_bytes::<R>(&self.dfs, &split.path, data);
             let h = ctx.register_counter(if hit { "cache.hits" } else { "cache.misses" });
             ctx.inc(h, 1);
-            let hits = part.1.query(&self.query);
+            let hits = part.tree().query(&self.query);
             (part, hits)
         } else {
-            // Ablation: linear scan of the partition, no cache.
-            let records = SpatialRecordReader::records::<R>(data);
-            let hits = (0..records.len())
-                .filter(|&i| records[i].mbr().intersects(&self.query))
-                .collect();
-            (
-                std::sync::Arc::new((records, sh_index::LocalRTree::build(Vec::new()))),
-                hits,
-            )
+            // Ablation: linear scan of the partition, no cache. Binary
+            // blocks still scan their coordinate columns directly.
+            let part = SpatialRecordReader::open_scan::<R>(&split.path, data);
+            let hits = part.scan_filter(&self.query);
+            (part, hits)
         };
         let mut line = String::with_capacity(48);
         for i in hits {
-            let r = &records.0[i];
-            let mbr = r.mbr();
+            let mbr = part.mbr_of(i);
             if self.dedup {
                 // Reference point of record ∩ query: exactly one replica
                 // holder owns it among the partitions overlapping both.
@@ -94,7 +101,7 @@ impl<R: Record> Mapper for IndexedMapper<R> {
                 }
             }
             line.clear();
-            r.write_line(&mut line);
+            part.write_record(i, &mut line);
             ctx.output(line.clone());
             ctx.inc(results, 1);
         }

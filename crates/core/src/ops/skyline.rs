@@ -39,6 +39,11 @@ impl Mapper for LocalSkylineMapper {
             ctx.emit(1, (p.x, p.y));
         }
     }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 struct GlobalSkylineReducer;
@@ -65,6 +70,11 @@ impl Mapper for IdentityPointMapper {
         for p in SpatialRecordReader::records::<Point>(data) {
             ctx.emit(1, (p.x, p.y));
         }
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 
@@ -171,6 +181,11 @@ impl Mapper for OutputSensitiveMapper {
                 ctx.inc(pruned, 1);
             }
         }
+    }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u8, u8>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 

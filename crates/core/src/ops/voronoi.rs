@@ -151,6 +151,11 @@ impl Mapper for StripMapper {
             ctx.emit(s, (p.x, p.y));
         }
     }
+
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<u64, (f64, f64)>) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
+    }
 }
 
 struct StripVdReducer;
@@ -295,6 +300,16 @@ impl Mapper for LocalVdMapper {
                 ctx.counter("voronoi.forwarded.witness", 1);
             }
         }
+    }
+
+    fn map_bytes(
+        &self,
+        split: &InputSplit,
+        data: &[u8],
+        ctx: &mut MapContext<(u64, u64), (u8, f64, f64)>,
+    ) {
+        let text = SpatialRecordReader::task_text::<Point>(&split.path, data);
+        self.map(split, &text, ctx);
     }
 }
 

@@ -26,6 +26,49 @@ use sh_trace::Span;
 use crate::catalog::SpatialFile;
 use crate::opresult::{OpError, OpResult};
 
+/// On-disk layout of the partition files an index build writes. Text is
+/// the ingest format; binary is the columnar `SHCB` block layout with
+/// `SHLX` local-index sidecars (see [`crate::colblock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlockFormat {
+    /// One record per text line.
+    #[default]
+    Text,
+    /// Columnar coordinate arrays, scanned without re-parsing.
+    Binary,
+}
+
+impl BlockFormat {
+    /// Lower-case name, as written in Pigeon's `FORMAT` clause.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockFormat::Text => "text",
+            BlockFormat::Binary => "binary",
+        }
+    }
+}
+
+/// Bounded preview of an offending input line for corruption errors.
+fn preview(line: &str) -> String {
+    if line.chars().count() <= 48 {
+        line.to_string()
+    } else {
+        let cut: String = line.chars().take(48).collect();
+        format!("{cut}…")
+    }
+}
+
+/// Driver-side corruption error quoting the offending line.
+fn corrupt(what: &str, line: &str) -> OpError {
+    OpError::Corrupt(format!("{what}: {:?}", preview(line)))
+}
+
+/// Task-side corruption failure: fails the attempt (and, without retry,
+/// the job) instead of panicking the worker thread.
+fn corrupt_task(context: &str, err: &dyn std::fmt::Display, line: &str) -> ! {
+    sh_mapreduce::fail_corrupt(format!("{context}: {err}: {:?}", preview(line)))
+}
+
 /// Writes records as a heap (unindexed) text file — the plain Hadoop
 /// loader.
 pub fn upload<R: Record>(dfs: &Dfs, path: &str, records: &[R]) -> Result<(), DfsError> {
@@ -63,7 +106,7 @@ impl<R: Record> Mapper for SampleMapper<R> {
         let mut mbr = Rect::empty();
         let mut count = 0u64;
         let centers = data.lines().filter(|l| !l.trim().is_empty()).map(|l| {
-            let r = R::parse_line(l).expect("corrupt record while sampling");
+            let r = R::parse_line(l).unwrap_or_else(|e| corrupt_task(&split.path, &e, l));
             count += 1;
             mbr.expand(&r.mbr());
             r.mbr().center()
@@ -90,11 +133,11 @@ impl<R: Record> Mapper for PartitionMapper<R> {
     type K = u64;
     type V = String;
 
-    fn map(&self, _split: &InputSplit, data: &str, ctx: &mut MapContext<u64, String>) {
+    fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<u64, String>) {
         let records = ctx.register_counter("index.records");
         let replicas = ctx.register_counter("index.replicas");
         for line in data.lines().filter(|l| !l.trim().is_empty()) {
-            let r = R::parse_line(line).expect("corrupt record while partitioning");
+            let r = R::parse_line(line).unwrap_or_else(|e| corrupt_task(&split.path, &e, line));
             let targets = self.gp.assign(&r.mbr());
             ctx.inc(records, 1);
             ctx.inc(replicas, targets.len() as u64);
@@ -106,6 +149,7 @@ impl<R: Record> Mapper for PartitionMapper<R> {
 }
 
 struct PartitionReducer<R: Record> {
+    format: BlockFormat,
     _r: PhantomData<fn() -> R>,
 }
 
@@ -115,29 +159,44 @@ impl<R: Record> Reducer for PartitionReducer<R> {
 
     fn reduce(&self, pid: &u64, lines: Vec<String>, ctx: &mut ReduceContext) {
         let name = format!("part-{pid:05}");
+        let sidecar = format!("_lidx-{pid:05}");
         let mut mbr = Rect::empty();
-        let mut bytes = 0u64;
-        let records = lines.len() as u64;
-        let mut rects = Vec::with_capacity(lines.len());
-        for line in lines {
-            let r = R::parse_line(&line).expect("corrupt record in partition reducer");
+        let count = lines.len() as u64;
+        let mut records: Vec<R> = Vec::with_capacity(lines.len());
+        for line in &lines {
+            let r = R::parse_line(line).unwrap_or_else(|e| corrupt_task(&name, &e, line));
             mbr.expand(&r.mbr());
-            rects.push(r.mbr());
-            bytes += line.len() as u64 + 1;
-            ctx.side_output(&name, line);
+            records.push(r);
         }
         // Persist the partition's local R-tree next to its data so query
         // jobs deserialize instead of re-running the STR bulk-load.
-        let tree = sh_index::LocalRTree::build(rects);
-        let sidecar = format!("_lidx-{pid:05}");
-        for line in tree.to_text().lines() {
-            ctx.side_output(&sidecar, line.to_string());
-        }
+        let tree = sh_index::LocalRTree::build(records.iter().map(|r| r.mbr()).collect());
+        let bytes = match self.format {
+            BlockFormat::Text => {
+                let mut bytes = 0u64;
+                for line in lines {
+                    bytes += line.len() as u64 + 1;
+                    ctx.side_output(&name, line);
+                }
+                for line in tree.to_text().lines() {
+                    ctx.side_output(&sidecar, line.to_string());
+                }
+                bytes
+            }
+            BlockFormat::Binary => {
+                let blob = crate::colblock::encode(&records)
+                    .unwrap_or_else(|e| sh_mapreduce::fail_corrupt(format!("{name}: {e}")));
+                let bytes = blob.len() as u64;
+                ctx.side_output_bytes(&name, &blob);
+                ctx.side_output_bytes(&sidecar, &tree.to_bytes());
+                bytes
+            }
+        };
         ctx.counter("index.local_trees", 1);
         ctx.side_output(
             "_partmeta",
             format!(
-                "{pid} {records} {bytes} {} {} {} {}",
+                "{pid} {count} {bytes} {} {} {} {}",
                 mbr.x1, mbr.y1, mbr.x2, mbr.y2
             ),
         );
@@ -155,8 +214,28 @@ pub fn build_index<R: Record>(
     index_dir: &str,
     kind: PartitionKind,
 ) -> Result<OpResult<SpatialFile>, OpError> {
+    build_index_fmt::<R>(dfs, heap, index_dir, kind, BlockFormat::Text)
+}
+
+/// [`build_index`] with an explicit partition-file layout: Pigeon's
+/// `INDEX ... FORMAT binary;` lands here. Binary is only defined for
+/// record types with fixed coordinate columns (points, rectangles).
+pub fn build_index_fmt<R: Record>(
+    dfs: &Dfs,
+    heap: &str,
+    index_dir: &str,
+    kind: PartitionKind,
+    format: BlockFormat,
+) -> Result<OpResult<SpatialFile>, OpError> {
+    if format == BlockFormat::Binary && R::BINARY_KIND.is_none() {
+        return Err(OpError::Unsupported(format!(
+            "binary block format is not defined for {}",
+            std::any::type_name::<R>()
+        )));
+    }
     let root = Span::root(format!("index-build:{heap}"));
     root.attr("technique", kind.name());
+    root.attr("format", format.name());
     let stat = dfs.stat(heap)?;
     let target_partitions = (stat.len.div_ceil(dfs.config().block_size)).max(1) as usize;
 
@@ -175,22 +254,9 @@ pub fn build_index<R: Record>(
         .run()?;
     let mut sample: Vec<Point> = Vec::new();
     let mut universe = Rect::empty();
-    for line in sample_job.read_output(dfs)? {
-        let mut it = line.split_ascii_whitespace();
-        match it.next() {
-            Some("S") => {
-                let x: f64 = it.next().unwrap().parse().expect("sample x");
-                let y: f64 = it.next().unwrap().parse().expect("sample y");
-                sample.push(Point::new(x, y));
-            }
-            Some("M") => {
-                let v: Vec<f64> = it.map(|t| t.parse().expect("mbr coord")).collect();
-                universe.expand(&Rect::new(v[0], v[1], v[2], v[3]));
-            }
-            _ => {}
-        }
-    }
+    let parsed = parse_sample_output(sample_job.read_output(dfs)?, &mut sample, &mut universe);
     delete_dir(dfs, &format!("{index_dir}/_sample"));
+    parsed?;
     sample_span.attr("points", sample.len());
     sample_span.finish();
     sh_trace::global().counter_add("index.sample.points", sample.len() as u64);
@@ -208,7 +274,52 @@ pub fn build_index<R: Record>(
     ));
     boundaries_span.attr("cells", gp.len());
     boundaries_span.finish();
-    partition_phase::<R>(dfs, heap, index_dir, gp, vec![sample_job], Some(root))
+    partition_phase::<R>(
+        dfs,
+        heap,
+        index_dir,
+        gp,
+        format,
+        vec![sample_job],
+        Some(root),
+    )
+}
+
+/// Parses the sample job's `S x y` / `M x1 y1 x2 y2` output lines.
+/// Malformed lines — wrong arity, unparseable or non-finite numbers —
+/// are [`OpError::Corrupt`], not driver panics.
+fn parse_sample_output(
+    lines: Vec<String>,
+    sample: &mut Vec<Point>,
+    universe: &mut Rect,
+) -> Result<(), OpError> {
+    fn coord(tok: Option<&str>, what: &str, line: &str) -> Result<f64, OpError> {
+        tok.and_then(|t| t.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| corrupt(what, line))
+    }
+    for line in lines {
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            Some("S") => {
+                let x = coord(it.next(), "bad sample point", &line)?;
+                let y = coord(it.next(), "bad sample point", &line)?;
+                sample.push(Point::new(x, y));
+            }
+            Some("M") => {
+                let mut v = [0.0f64; 4];
+                for slot in &mut v {
+                    *slot = coord(it.next(), "bad split MBR", &line)?;
+                }
+                if it.next().is_some() {
+                    return Err(corrupt("bad split MBR", &line));
+                }
+                universe.expand(&Rect::new(v[0], v[1], v[2], v[3]));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Indexes a heap file with an *existing* partitioning — co-partitioning
@@ -220,7 +331,15 @@ pub fn build_index_with<R: Record>(
     index_dir: &str,
     gp: Arc<GlobalPartitioning>,
 ) -> Result<OpResult<SpatialFile>, OpError> {
-    partition_phase::<R>(dfs, heap, index_dir, gp, Vec::new(), None)
+    partition_phase::<R>(
+        dfs,
+        heap,
+        index_dir,
+        gp,
+        BlockFormat::Text,
+        Vec::new(),
+        None,
+    )
 }
 
 fn partition_phase<R: Record>(
@@ -228,6 +347,7 @@ fn partition_phase<R: Record>(
     heap: &str,
     index_dir: &str,
     gp: Arc<GlobalPartitioning>,
+    format: BlockFormat,
     mut jobs: Vec<sh_mapreduce::JobOutcome>,
     root: Option<Span>,
 ) -> Result<OpResult<SpatialFile>, OpError> {
@@ -246,7 +366,13 @@ fn partition_phase<R: Record>(
             _r: PhantomData,
         })
         .pair_size(|_, v: &String| 8 + v.len())
-        .reducer(PartitionReducer::<R> { _r: PhantomData }, reducers)
+        .reducer(
+            PartitionReducer::<R> {
+                format,
+                _r: PhantomData,
+            },
+            reducers,
+        )
         .output(index_dir)
         .build()?
         .run()?;
@@ -258,10 +384,29 @@ fn partition_phase<R: Record>(
     let mut partitions: Vec<PartitionMeta> = Vec::new();
     for line in meta_text.lines() {
         let toks: Vec<&str> = line.split_ascii_whitespace().collect();
-        let pid: usize = toks[0].parse().expect("pid");
-        let records: u64 = toks[1].parse().expect("records");
-        let bytes: u64 = toks[2].parse().expect("bytes");
-        let m: Vec<f64> = toks[3..7].iter().map(|t| t.parse().expect("mbr")).collect();
+        if toks.len() != 7 {
+            return Err(corrupt("bad partition meta line", line));
+        }
+        let pid: usize = toks[0]
+            .parse()
+            .map_err(|_| corrupt("bad partition id", line))?;
+        if pid >= gp.len() {
+            return Err(corrupt("partition id out of range", line));
+        }
+        let records: u64 = toks[1]
+            .parse()
+            .map_err(|_| corrupt("bad partition record count", line))?;
+        let bytes: u64 = toks[2]
+            .parse()
+            .map_err(|_| corrupt("bad partition byte count", line))?;
+        let mut m = [0.0f64; 4];
+        for (slot, tok) in m.iter_mut().zip(&toks[3..7]) {
+            *slot = tok
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| corrupt("bad partition MBR", line))?;
+        }
         let cell = gp.cell(pid);
         partitions.push(PartitionMeta {
             id: pid,
@@ -418,6 +563,75 @@ mod tests {
                 "{} lost/duplicated points",
                 kind.name()
             );
+        }
+    }
+
+    #[test]
+    fn binary_index_matches_text_build() {
+        let (dfs, pts) = setup(3000);
+        let t = build_index::<Point>(&dfs, "/heap", "/t", PartitionKind::StrPlus).unwrap();
+        let b = build_index_fmt::<Point>(
+            &dfs,
+            "/heap",
+            "/b",
+            PartitionKind::StrPlus,
+            BlockFormat::Binary,
+        )
+        .unwrap();
+        assert_eq!(b.value.total_records(), pts.len() as u64);
+        assert_eq!(t.value.partitions.len(), b.value.partitions.len());
+        for p in &b.value.partitions {
+            let raw = dfs.read_bytes(&p.path).unwrap();
+            assert!(crate::colblock::is_binary(&raw), "{} is not SHCB", p.path);
+            assert_eq!(raw.len() as u64, p.bytes, "catalogue byte count");
+            let records: Vec<Point> =
+                crate::mrlayer::SpatialRecordReader::records_bytes(&raw).unwrap();
+            assert_eq!(records.len() as u64, p.records);
+            // The sidecar is binary too and answers like a fresh build.
+            let sidecar = crate::mrlayer::local_index_path(&p.path).unwrap();
+            let sraw = dfs.read_bytes(&sidecar).unwrap();
+            assert!(sh_index::LocalRTree::is_binary_sidecar(&sraw));
+            let tree = sh_index::LocalRTree::from_bytes(&sraw).unwrap();
+            assert_eq!(tree.len() as u64, p.records, "{sidecar}");
+            let rebuilt = sh_index::LocalRTree::build(records.iter().map(|r| r.mbr()).collect());
+            let q = p.cell_rect();
+            assert_eq!(tree.query(&q), rebuilt.query(&q));
+        }
+    }
+
+    #[test]
+    fn binary_format_is_unsupported_for_polygons() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let polys = sh_workload::osm_like_polygons(40, &uni, 10.0, 3);
+        upload(&dfs, "/polys", &polys).unwrap();
+        assert!(matches!(
+            build_index_fmt::<sh_geom::Polygon>(
+                &dfs,
+                "/polys",
+                "/idx",
+                PartitionKind::Grid,
+                BlockFormat::Binary
+            ),
+            Err(OpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_heap_line_fails_index_build_cleanly() {
+        for format in [BlockFormat::Text, BlockFormat::Binary] {
+            let dfs = Dfs::new(ClusterConfig::small_for_tests());
+            let mut w = dfs.create("/heap").unwrap();
+            w.write_line("1 2");
+            w.write_line("3 banana");
+            w.write_line("5 6");
+            w.close();
+            let err = build_index_fmt::<Point>(&dfs, "/heap", "/idx", PartitionKind::Grid, format)
+                .unwrap_err();
+            match err {
+                OpError::Corrupt(m) => assert!(m.contains("banana"), "{format:?}: {m}"),
+                other => panic!("{format:?}: expected Corrupt, got {other}"),
+            }
         }
     }
 

@@ -260,6 +260,18 @@ impl Dfs {
         Ok(out)
     }
 
+    /// Reads a whole file as raw bytes (binary block formats; same
+    /// driver-side cost accounting as [`Dfs::read_to_string`]).
+    pub fn read_bytes(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let locations = self.block_locations(path)?;
+        let mut out = Vec::new();
+        for info in locations {
+            let (bytes, _) = self.read_block(info.id, usize::MAX)?;
+            out.extend_from_slice(&bytes);
+        }
+        Ok(out)
+    }
+
     /// Writes a complete string as a new file (driver-side convenience).
     pub fn write_string(&self, path: &str, contents: &str) -> Result<(), DfsError> {
         let mut w = self.create(path)?;

@@ -50,6 +50,24 @@ impl FileWriter {
         }
     }
 
+    /// Appends raw bytes (binary block formats). The chunk is cut into
+    /// block-size pieces; unlike [`FileWriter::write_line`] no record
+    /// alignment is attempted — binary files are always read whole, so
+    /// blocks may split anywhere.
+    pub fn write_chunk(&mut self, chunk: &[u8]) {
+        let block_size = self.dfs.config().block_size as usize;
+        let mut rest = chunk;
+        while !rest.is_empty() {
+            let room = block_size.saturating_sub(self.buf.len()).max(1);
+            let take = room.min(rest.len());
+            self.buf.extend_from_slice(&rest[..take]);
+            rest = &rest[take..];
+            if self.buf.len() >= block_size {
+                self.seal_block();
+            }
+        }
+    }
+
     /// The node this writer is (nominally) running on — first replicas of
     /// its blocks land here.
     pub fn node(&self) -> NodeId {
@@ -112,6 +130,19 @@ mod tests {
         let text = fs.read_to_string("/f").unwrap();
         assert!(text.starts_with("small\n"));
         assert!(text.ends_with("after\n"));
+    }
+
+    #[test]
+    fn write_chunk_splits_on_block_size_and_roundtrips() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests()); // 8 KiB blocks
+        let blob: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
+        let mut w = fs.create("/bin").unwrap();
+        w.write_chunk(&blob);
+        w.close();
+        let stat = fs.stat("/bin").unwrap();
+        assert_eq!(stat.len, blob.len() as u64);
+        assert_eq!(stat.num_blocks, 3);
+        assert_eq!(fs.read_bytes("/bin").unwrap(), blob);
     }
 
     #[test]

@@ -62,6 +62,24 @@ pub trait Record: Clone + Send + Sync + 'static {
         self.write_line(&mut s);
         s
     }
+
+    /// Columnar kind tag for the binary block format (`0` = point,
+    /// `1` = rect), or `None` when the type has no fixed-width columnar
+    /// form (segments, polygons, tagged records stay text-only).
+    const BINARY_KIND: Option<u8> = None;
+
+    /// Number of `f64` coordinate columns in the columnar form.
+    fn ncols() -> usize {
+        0
+    }
+
+    /// Appends this record's coordinates to the per-column builders.
+    fn push_cols(&self, _cols: &mut [Vec<f64>]) {}
+
+    /// Reconstructs record `i` from decoded coordinate columns.
+    fn from_cols(_cols: &[&[f64]], _i: usize) -> Self {
+        unreachable!("record type has no columnar form")
+    }
 }
 
 fn parse_f64(tok: Option<&str>, what: &str) -> Result<f64, ParseError> {
@@ -69,8 +87,8 @@ fn parse_f64(tok: Option<&str>, what: &str) -> Result<f64, ParseError> {
     let v: f64 = tok
         .parse()
         .map_err(|_| ParseError::new(format!("bad {what}: {tok:?}")))?;
-    if v.is_nan() {
-        return Err(ParseError::new(format!("NaN {what}")));
+    if !v.is_finite() {
+        return Err(ParseError::new(format!("non-finite {what}: {tok:?}")));
     }
     Ok(v)
 }
@@ -95,6 +113,21 @@ impl Record for Point {
         }
         Ok(Point::new(x, y))
     }
+
+    const BINARY_KIND: Option<u8> = Some(0);
+
+    fn ncols() -> usize {
+        2
+    }
+
+    fn push_cols(&self, cols: &mut [Vec<f64>]) {
+        cols[0].push(self.x);
+        cols[1].push(self.y);
+    }
+
+    fn from_cols(cols: &[&[f64]], i: usize) -> Self {
+        Point::new(cols[0][i], cols[1][i])
+    }
 }
 
 impl Record for Rect {
@@ -118,6 +151,23 @@ impl Record for Rect {
             )));
         }
         Ok(Rect::new(x1, y1, x2, y2))
+    }
+
+    const BINARY_KIND: Option<u8> = Some(1);
+
+    fn ncols() -> usize {
+        4
+    }
+
+    fn push_cols(&self, cols: &mut [Vec<f64>]) {
+        cols[0].push(self.x1);
+        cols[1].push(self.y1);
+        cols[2].push(self.x2);
+        cols[3].push(self.y2);
+    }
+
+    fn from_cols(cols: &[&[f64]], i: usize) -> Self {
+        Rect::new(cols[0][i], cols[1][i], cols[2][i], cols[3][i])
     }
 }
 
@@ -299,5 +349,37 @@ mod tests {
         assert!(Polygon::parse_line("P 2 0 0 1 1").is_err());
         assert!(Segment::parse_line("X 0 0 1 1").is_err());
         assert!(Point::parse_line("NaN 1").is_err());
+        assert!(Point::parse_line("inf 1").is_err());
+        assert!(Rect::parse_line("0 0 -inf 1").is_err());
+    }
+
+    #[test]
+    fn columnar_hooks_roundtrip_points_and_rects() {
+        let pts = vec![Point::new(1.0, 2.0), Point::new(-3.5, 4.25)];
+        let mut cols = vec![Vec::new(); Point::ncols()];
+        for p in &pts {
+            p.push_cols(&mut cols);
+        }
+        let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        for (i, p) in pts.iter().enumerate() {
+            assert_eq!(&Point::from_cols(&views, i), p);
+        }
+
+        let rs = vec![
+            Rect::new(0.0, 1.0, 2.0, 3.0),
+            Rect::new(-1.0, -2.0, 0.5, 0.75),
+        ];
+        let mut cols = vec![Vec::new(); Rect::ncols()];
+        for r in &rs {
+            r.push_cols(&mut cols);
+        }
+        let views: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+        for (i, r) in rs.iter().enumerate() {
+            assert_eq!(&Rect::from_cols(&views, i), r);
+        }
+        assert_eq!(Point::BINARY_KIND, Some(0));
+        assert_eq!(Rect::BINARY_KIND, Some(1));
+        assert_eq!(Segment::BINARY_KIND, None);
+        assert_eq!(Polygon::BINARY_KIND, None);
     }
 }

@@ -248,6 +248,135 @@ impl LocalRTree {
         Ok(LocalRTree { rects, nodes, root })
     }
 
+    /// Serializes the tree as a binary `SHLX` blob — the sidecar format
+    /// binary-indexed partitions use. Little-endian throughout:
+    ///
+    /// ```text
+    /// 4  magic b"SHLX"      2  version (1)
+    /// 8  num_rects (u64)    8  num_nodes (u64)    8  root (i64, -1 = none)
+    /// per rect: 4 x f64
+    /// per node: leaf (u8), 4 x f64 mbr, entry count (u32), entries (u32 each)
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.rects.len() * 32 + self.nodes.len() * 48);
+        out.extend_from_slice(b"SHLX");
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&(self.rects.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.root.map(|r| r as i64).unwrap_or(-1).to_le_bytes());
+        for r in &self.rects {
+            for v in [r.x1, r.y1, r.x2, r.y2] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for n in &self.nodes {
+            out.push(u8::from(n.leaf));
+            for v in [n.mbr.x1, n.mbr.y1, n.mbr.x2, n.mbr.y2] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            out.extend_from_slice(&(n.entries.len() as u32).to_le_bytes());
+            for &e in &n.entries {
+                out.extend_from_slice(&(e as u32).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// True when `data` starts with the binary sidecar magic.
+    pub fn is_binary_sidecar(data: &[u8]) -> bool {
+        data.len() >= 4 && &data[..4] == b"SHLX"
+    }
+
+    /// Deserializes [`LocalRTree::to_bytes`] output with the same
+    /// validation rules as [`LocalRTree::from_text`]: bad magic/version,
+    /// truncation, and out-of-range indices are all errors.
+    pub fn from_bytes(data: &[u8]) -> Result<LocalRTree, String> {
+        struct Cursor<'a> {
+            data: &'a [u8],
+            at: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+                if self.at + n > self.data.len() {
+                    return Err("truncated local index".to_string());
+                }
+                let s = &self.data[self.at..self.at + n];
+                self.at += n;
+                Ok(s)
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn f64(&mut self) -> Result<f64, String> {
+                Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+        }
+        let mut c = Cursor { data, at: 0 };
+        if c.take(4)? != b"SHLX" {
+            return Err("bad local-index magic".to_string());
+        }
+        let version = u16::from_le_bytes(c.take(2)?.try_into().unwrap());
+        if version != 1 {
+            return Err(format!("unsupported local-index version {version}"));
+        }
+        let nr = c.u64()? as usize;
+        let nn = c.u64()? as usize;
+        let root = i64::from_le_bytes(c.take(8)?.try_into().unwrap());
+        // Sanity-bound the counts before allocating (a corrupt header
+        // must not trigger a huge reservation).
+        // 32 bytes per rect, at least 37 per node (flag + mbr + count).
+        let remaining = data.len() - c.at;
+        if nr.saturating_mul(32).saturating_add(nn.saturating_mul(37)) > remaining {
+            return Err("local-index counts exceed payload".to_string());
+        }
+        let mut rects = Vec::with_capacity(nr);
+        for _ in 0..nr {
+            let (x1, y1, x2, y2) = (c.f64()?, c.f64()?, c.f64()?, c.f64()?);
+            rects.push(Rect::new(x1, y1, x2, y2));
+        }
+        let mut nodes = Vec::with_capacity(nn);
+        for _ in 0..nn {
+            let leaf = match c.take(1)?[0] {
+                0 => false,
+                1 => true,
+                b => return Err(format!("bad node leaf flag {b}")),
+            };
+            let (x1, y1, x2, y2) = (c.f64()?, c.f64()?, c.f64()?, c.f64()?);
+            let count = c.u32()? as usize;
+            let limit = if leaf { nr } else { nn };
+            let mut entries = Vec::with_capacity(count.min(remaining / 4));
+            for _ in 0..count {
+                let e = c.u32()? as usize;
+                if e >= limit {
+                    return Err(format!("node entry {e} out of range (< {limit})"));
+                }
+                entries.push(e);
+            }
+            nodes.push(Node {
+                mbr: Rect::new(x1, y1, x2, y2),
+                entries,
+                leaf,
+            });
+        }
+        if c.at != data.len() {
+            return Err("trailing bytes after local index".to_string());
+        }
+        let root = if root < 0 {
+            None
+        } else if (root as usize) < nodes.len() {
+            Some(root as usize)
+        } else {
+            return Err(format!("root {root} out of range"));
+        };
+        if root.is_none() && !rects.is_empty() {
+            return Err("non-empty local index without a root".to_string());
+        }
+        Ok(LocalRTree { rects, nodes, root })
+    }
+
     /// The `k` records nearest to `p` (by MBR min-distance), best-first.
     /// Returns `(record index, distance)` sorted by ascending distance.
     pub fn knn(&self, p: &Point, k: usize) -> Vec<(usize, f64)> {
@@ -444,6 +573,42 @@ mod tests {
             // Re-serialization is byte-identical (determinism).
             assert_eq!(back.to_text(), tree.to_text());
         }
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_query_results() {
+        for n in [0usize, 1, 33, 2000] {
+            let rects = random_rects(n, 9);
+            let tree = LocalRTree::build(rects);
+            let blob = tree.to_bytes();
+            assert!(LocalRTree::is_binary_sidecar(&blob));
+            let back = LocalRTree::from_bytes(&blob).unwrap();
+            assert_eq!(back.len(), tree.len());
+            let q = Rect::new(100.0, 100.0, 600.0, 600.0);
+            assert_eq!(back.query(&q), tree.query(&q));
+            // Re-serialization is byte-identical (determinism).
+            assert_eq!(back.to_bytes(), blob);
+        }
+    }
+
+    #[test]
+    fn corrupt_binary_sidecar_is_rejected() {
+        let tree = LocalRTree::build(random_rects(50, 10));
+        let blob = tree.to_bytes();
+        assert!(LocalRTree::from_bytes(&blob).is_ok());
+        assert!(LocalRTree::from_bytes(&[]).is_err());
+        assert!(LocalRTree::from_bytes(&blob[..10]).is_err());
+        assert!(LocalRTree::from_bytes(&blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] = b'Z';
+        assert!(LocalRTree::from_bytes(&bad).is_err());
+        assert!(!LocalRTree::is_binary_sidecar(&bad));
+        let mut bad = blob.clone();
+        bad[4] = 9; // version
+        assert!(LocalRTree::from_bytes(&bad).is_err());
+        let mut bad = blob.clone();
+        bad[6] = 0xff; // rect count blown up
+        assert!(LocalRTree::from_bytes(&bad).is_err());
     }
 
     #[test]

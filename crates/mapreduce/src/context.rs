@@ -69,6 +69,7 @@ pub struct MapContext<K, V> {
     pub(crate) buckets: Vec<Vec<(K, V)>>,
     pub(crate) output: Vec<String>,
     pub(crate) side: BTreeMap<String, Vec<String>>,
+    pub(crate) side_bytes: BTreeMap<String, Vec<u8>>,
     pub(crate) counters: BTreeMap<String, u64>,
     interned: InternedCounters,
 }
@@ -81,6 +82,7 @@ impl<K, V> MapContext<K, V> {
             buckets: (0..num_reducers.max(1)).map(|_| Vec::new()).collect(),
             output: Vec::new(),
             side: BTreeMap::new(),
+            side_bytes: BTreeMap::new(),
             counters: BTreeMap::new(),
             interned: InternedCounters::default(),
         }
@@ -121,6 +123,17 @@ impl<K, V> MapContext<K, V> {
         self.side.entry(name.to_string()).or_default().push(line);
     }
 
+    /// Appends raw bytes to a *named binary side file* (`{output}/{name}`).
+    /// The binary analogue of [`MapContext::side_output`]: chunks from all
+    /// tasks writing the same name are concatenated in task order. A name
+    /// must be either text or binary, never both.
+    pub fn side_output_bytes(&mut self, name: &str, chunk: &[u8]) {
+        self.side_bytes
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(chunk);
+    }
+
     /// Adds to a named job counter.
     pub fn counter(&mut self, name: &str, delta: u64) {
         *self.counters.entry(name.to_string()).or_insert(0) += delta;
@@ -150,6 +163,7 @@ impl<K, V> MapContext<K, V> {
 pub struct ReduceContext {
     pub(crate) output: Vec<String>,
     pub(crate) side: BTreeMap<String, Vec<String>>,
+    pub(crate) side_bytes: BTreeMap<String, Vec<u8>>,
     pub(crate) counters: BTreeMap<String, u64>,
     interned: InternedCounters,
 }
@@ -159,6 +173,7 @@ impl ReduceContext {
         ReduceContext {
             output: Vec::new(),
             side: BTreeMap::new(),
+            side_bytes: BTreeMap::new(),
             counters: BTreeMap::new(),
             interned: InternedCounters::default(),
         }
@@ -174,6 +189,15 @@ impl ReduceContext {
     /// [`MapContext::side_output`]).
     pub fn side_output(&mut self, name: &str, line: String) {
         self.side.entry(name.to_string()).or_default().push(line);
+    }
+
+    /// Appends raw bytes to a *named binary side file* (see
+    /// [`MapContext::side_output_bytes`]).
+    pub fn side_output_bytes(&mut self, name: &str, chunk: &[u8]) {
+        self.side_bytes
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(chunk);
     }
 
     /// Adds to a named job counter.

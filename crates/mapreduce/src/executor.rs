@@ -107,6 +107,7 @@ struct MapTaskResult<K, V> {
     shuffle_bytes: u64,
     output: Vec<String>,
     side: BTreeMap<String, Vec<String>>,
+    side_bytes: BTreeMap<String, Vec<u8>>,
     counters: BTreeMap<String, u64>,
 }
 
@@ -463,15 +464,23 @@ impl<'a, T: Send> WaveRunner<'a, T> {
             ))))
         } else {
             // Hadoop semantics: a panicking task fails the attempt (and
-            // eventually the job), never the process.
+            // eventually the job), never the process. A typed
+            // `CorruptInput` payload is a data error, not a crash — it
+            // becomes `JobError::CorruptInput` and skips retries.
             let attempt_result =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_task(task, node)));
             Some(attempt_result.unwrap_or_else(|panic| {
-                Err(JobError::TaskFailed(format!(
-                    "{}-{task}/attempt-{attempt}: {}",
-                    self.phase,
-                    panic_message(&panic)
-                )))
+                match panic.downcast::<crate::job::CorruptInput>() {
+                    Ok(corrupt) => Err(JobError::CorruptInput(format!(
+                        "{}-{task}/attempt-{attempt}: {}",
+                        self.phase, corrupt.0
+                    ))),
+                    Err(panic) => Err(JobError::TaskFailed(format!(
+                        "{}-{task}/attempt-{attempt}: {}",
+                        self.phase,
+                        panic_message(&panic)
+                    ))),
+                }
             }))
         };
         span.finish();
@@ -541,7 +550,15 @@ impl<'a, T: Send> WaveRunner<'a, T> {
                     }
                     let ts = &st.tasks[task];
                     let attempts = ts.attempts;
-                    if attempts < self.opts.max_task_attempts {
+                    if matches!(e, JobError::CorruptInput(_)) {
+                        // Deterministic data error: re-reading the same
+                        // corrupt bytes cannot succeed, so retrying only
+                        // burns attempts. Fail the job now (first error
+                        // wins).
+                        if st.fatal.is_none() {
+                            st.fatal = Some(e);
+                        }
+                    } else if attempts < self.opts.max_task_attempts {
                         st.stats.retries += 1;
                         st.queue.push_back(task);
                         sh_trace::events::emit(
@@ -670,11 +687,19 @@ where
 
     // ---- side files (named outputs shared across tasks) ---------------
     let mut side_files: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut side_blobs: BTreeMap<String, Vec<u8>> = BTreeMap::new();
     for res in map_results.iter_mut() {
         for (name, lines) in std::mem::take(&mut res.side) {
             let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
             res.cost.output_bytes += bytes;
             side_files.entry(name).or_default().extend(lines);
+        }
+        for (name, chunk) in std::mem::take(&mut res.side_bytes) {
+            res.cost.output_bytes += chunk.len() as u64;
+            side_blobs
+                .entry(name)
+                .or_default()
+                .extend_from_slice(&chunk);
         }
     }
 
@@ -781,11 +806,18 @@ where
 
         let mut reduce_costs: Vec<TaskCost> = Vec::with_capacity(r);
         for (i, res) in reduce_results.into_iter().enumerate() {
-            let (mut cost, output, side, task_counters) = res;
+            let (mut cost, output, side, side_bytes, task_counters) = res;
             for (name, lines) in side {
                 let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
                 cost.output_bytes += bytes;
                 side_files.entry(name).or_default().extend(lines);
+            }
+            for (name, chunk) in side_bytes {
+                cost.output_bytes += chunk.len() as u64;
+                side_blobs
+                    .entry(name)
+                    .or_default()
+                    .extend_from_slice(&chunk);
             }
             if !output.is_empty() {
                 let path = format!("{}/part-r-{i:05}", job.output);
@@ -819,6 +851,13 @@ where
             "output.side.bytes",
             lines.iter().map(|l| l.len() as u64 + 1).sum(),
         );
+    }
+    for (name, blob) in side_blobs {
+        let path = format!("{}/{name}", job.output);
+        let mut w = dfs.create(&path)?;
+        w.write_chunk(&blob);
+        w.close();
+        counters.inc_static("output.side.bytes", blob.len() as u64);
     }
 
     counters.inc_static("task.retries", ft.retries);
@@ -991,7 +1030,10 @@ where
     let split = &job.splits[task];
     let mut local = 0u64;
     let mut remote = 0u64;
-    let mut data = String::with_capacity(split.len() as usize);
+    // Splits are raw bytes end to end; `Mapper::map_bytes` decides
+    // whether they are text (default: UTF-8 decode, corrupt-input
+    // failure on binary garbage) or a binary block format.
+    let mut data = Vec::with_capacity(split.len() as usize);
     for b in &split.blocks {
         let (bytes, was_local) = job.dfs.read_block(b.id, node)?;
         if was_local {
@@ -999,7 +1041,7 @@ where
         } else {
             remote += bytes.len() as u64;
         }
-        data.push_str(std::str::from_utf8(&bytes).expect("DFS stores UTF-8 text"));
+        data.extend_from_slice(&bytes);
     }
     let num_reducers = if job.reducer.is_some() {
         job.num_reducers
@@ -1008,7 +1050,7 @@ where
     };
     let mut ctx = MapContext::new(num_reducers);
     let t0 = Instant::now();
-    job.mapper.map(split, &data, &mut ctx);
+    job.mapper.map_bytes(split, &data, &mut ctx);
     let counters = ctx.take_counters();
     let mut buckets = ctx.buckets;
     if let Some(combiner) = &job.combiner {
@@ -1041,6 +1083,7 @@ where
         shuffle_bytes,
         output: ctx.output,
         side: ctx.side,
+        side_bytes: ctx.side_bytes,
         counters,
     })
 }
@@ -1071,6 +1114,7 @@ type ReduceTaskResult = (
     TaskCost,
     Vec<String>,
     BTreeMap<String, Vec<String>>,
+    BTreeMap<String, Vec<u8>>,
     BTreeMap<String, u64>,
 );
 
@@ -1114,6 +1158,7 @@ where
         },
         ctx.output,
         ctx.side,
+        ctx.side_bytes,
         counters,
     )
 }

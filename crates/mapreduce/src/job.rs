@@ -25,6 +25,33 @@ pub trait Mapper: Send + Sync {
 
     /// Processes one split.
     fn map(&self, split: &InputSplit, data: &str, ctx: &mut MapContext<Self::K, Self::V>);
+
+    /// Processes one split from raw bytes. The engine always enters
+    /// through this method; the default decodes UTF-8 and forwards to
+    /// [`Mapper::map`], failing the job as corrupt input on non-text
+    /// data. Mappers that understand binary blocks override it.
+    fn map_bytes(&self, split: &InputSplit, data: &[u8], ctx: &mut MapContext<Self::K, Self::V>) {
+        match std::str::from_utf8(data) {
+            Ok(text) => self.map(split, text, ctx),
+            Err(e) => fail_corrupt(format!("{}: input is not UTF-8 text: {e}", split.path)),
+        }
+    }
+}
+
+/// Panic payload marking a *data* error (corrupt input) rather than an
+/// engine bug. The executor downcasts unwound payloads to this type and
+/// converts them into [`JobError::CorruptInput`] — failing the job
+/// immediately, with no retries (re-reading corrupt bytes cannot
+/// succeed).
+#[derive(Clone, Debug)]
+pub struct CorruptInput(pub String);
+
+/// Fails the current task with a corrupt-input error. Mappers/reducers
+/// return `()`, so the error travels as a typed panic payload that the
+/// executor's unwind boundary turns into a clean
+/// [`JobError::CorruptInput`].
+pub fn fail_corrupt(msg: impl Into<String>) -> ! {
+    std::panic::panic_any(CorruptInput(msg.into()))
 }
 
 /// A reduce function over one key group.
@@ -78,6 +105,9 @@ pub enum JobError {
     /// job fails cleanly instead of aborting the process — Hadoop's
     /// failed-task semantics.
     TaskFailed(String),
+    /// A task hit corrupt input data ([`fail_corrupt`]). Deterministic:
+    /// the job fails immediately without burning retry attempts.
+    CorruptInput(String),
 }
 
 impl fmt::Display for JobError {
@@ -86,6 +116,7 @@ impl fmt::Display for JobError {
             JobError::Dfs(e) => write!(f, "dfs error: {e}"),
             JobError::Config(m) => write!(f, "job configuration error: {m}"),
             JobError::TaskFailed(m) => write!(f, "task failed: {m}"),
+            JobError::CorruptInput(m) => write!(f, "corrupt input: {m}"),
         }
     }
 }

@@ -34,7 +34,7 @@ pub use context::{CounterHandle, MapContext, ReduceContext};
 pub use cost::SimBreakdown;
 pub use counters::Counters;
 pub use executor::JobOutcome;
-pub use job::{Job, JobBuilder, JobError, Mapper, NoReducer, Reducer};
+pub use job::{fail_corrupt, CorruptInput, Job, JobBuilder, JobError, Mapper, NoReducer, Reducer};
 pub use scheduler::{
     JobHandle, JobInfo, JobScheduler, JobState, SchedConfig, SchedError, SchedPolicy,
 };

@@ -49,6 +49,16 @@ impl InputSplit {
             None => (data, ""),
         }
     }
+
+    /// Byte-level variant of [`InputSplit::split_data`] for binary
+    /// blocks: same short-read clamping, but no UTF-8 boundary search —
+    /// binary partitions are whole files, so the recorded cut is exact.
+    pub fn split_data_bytes<'a>(&self, data: &'a [u8]) -> (&'a [u8], &'a [u8]) {
+        match self.first_input_bytes {
+            Some(b) => data.split_at((b as usize).min(data.len())),
+            None => (data, &[]),
+        }
+    }
 }
 
 impl InputSplit {
@@ -169,6 +179,20 @@ mod tests {
         // Cuts land on UTF-8 boundaries, not mid-codepoint.
         s.first_input_bytes = Some(1);
         assert_eq!(s.split_data("é\n"), ("", "é\n"));
+    }
+
+    #[test]
+    fn split_data_bytes_cuts_exactly_and_clamps() {
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        fs.write_string("/f", "ab").unwrap();
+        let mut s = InputSplit::whole_file(&fs, "/f").unwrap();
+        s.first_input_bytes = Some(3);
+        let data = [1u8, 2, 3, 4, 5];
+        assert_eq!(s.split_data_bytes(&data), (&data[..3], &data[3..]));
+        s.first_input_bytes = Some(100);
+        assert_eq!(s.split_data_bytes(&data), (&data[..], &[][..]));
+        s.first_input_bytes = None;
+        assert_eq!(s.split_data_bytes(&data), (&data[..], &[][..]));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Abstract syntax of Pigeon scripts.
 
+use sh_core::storage::BlockFormat;
 use sh_geom::{Point, Rect};
 use sh_index::PartitionKind;
 
@@ -51,12 +52,13 @@ pub enum Stmt {
     },
     /// `v = DELAUNAY <src>;`
     Delaunay { var: String, src: String },
-    /// `v = INDEX <src> AS <technique> INTO '<path>';`
+    /// `v = INDEX <src> AS <technique> INTO '<path>' [FORMAT text|binary];`
     Index {
         var: String,
         src: String,
         kind: PartitionKind,
         path: String,
+        format: BlockFormat,
     },
     /// `v = FILTER <src> BY Overlaps(RECTANGLE(x1, y1, x2, y2));`
     RangeFilter {

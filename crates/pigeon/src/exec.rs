@@ -354,6 +354,7 @@ impl Pigeon {
                 src,
                 kind,
                 path,
+                format,
             } => {
                 let (heap, rtype) = match self.lookup(src)? {
                     Value::Heap { path, rtype } => (path.clone(), *rtype),
@@ -365,13 +366,13 @@ impl Pigeon {
                 };
                 let r = match rtype {
                     RecordType::Point => {
-                        storage::build_index::<Point>(&self.dfs, &heap, path, *kind)?
+                        storage::build_index_fmt::<Point>(&self.dfs, &heap, path, *kind, *format)?
                     }
                     RecordType::Rectangle => {
-                        storage::build_index::<Rect>(&self.dfs, &heap, path, *kind)?
+                        storage::build_index_fmt::<Rect>(&self.dfs, &heap, path, *kind, *format)?
                     }
                     RecordType::Polygon => {
-                        storage::build_index::<Polygon>(&self.dfs, &heap, path, *kind)?
+                        storage::build_index_fmt::<Polygon>(&self.dfs, &heap, path, *kind, *format)?
                     }
                 };
                 let file = self.take("index", r);
@@ -1161,6 +1162,84 @@ mod tests {
             .filter(|p| Rect::new(100.0, 100.0, 300.0, 300.0).contains_point(p))
             .count();
         assert_eq!(out.len(), expected);
+    }
+
+    #[test]
+    fn index_format_binary_matches_text_results() {
+        let (dfs, _) = dfs_with_points();
+        let text = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS str+ INTO '/idx/t' FORMAT text;\n\
+             r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             DUMP r;",
+        )
+        .unwrap();
+        let bin = run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS str+ INTO '/idx/b' FORMAT binary;\n\
+             r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             DUMP r;",
+        )
+        .unwrap();
+        let sorted = |mut v: Vec<String>| {
+            v.sort();
+            v
+        };
+        assert!(!text.is_empty());
+        assert_eq!(sorted(text), sorted(bin));
+        // The binary partition files really are columnar blocks.
+        let part = dfs
+            .list("/idx/b/")
+            .into_iter()
+            .find(|p| p.contains("/part-"))
+            .expect("binary index has partitions");
+        let raw = dfs.read_bytes(&part).unwrap();
+        assert!(sh_core::colblock::is_binary(&raw));
+    }
+
+    #[test]
+    fn ops_over_binary_index_match_text() {
+        // KNN and SKYLINE read partitions through the generic mapper path,
+        // so they must transparently decode columnar blocks.
+        let (dfs, _) = dfs_with_points();
+        let script = |idx: &str, fmt: &str| {
+            format!(
+                "p = LOAD '/data/points' AS POINT;\n\
+                 i = INDEX p AS str+ INTO '{idx}' FORMAT {fmt};\n\
+                 n = KNN i POINT(500, 500) K 7;\n\
+                 s = SKYLINE i;\n\
+                 DUMP n;\n\
+                 DUMP s;"
+            )
+        };
+        let text = run_script(&dfs, &script("/ops/t", "text")).unwrap();
+        let bin = run_script(&dfs, &script("/ops/b", "binary")).unwrap();
+        let sorted = |mut v: Vec<String>| {
+            v.sort();
+            v
+        };
+        assert!(!text.is_empty());
+        assert_eq!(sorted(text), sorted(bin));
+    }
+
+    #[test]
+    fn binary_format_rejects_polygons() {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        let uni = Rect::new(0.0, 0.0, 100.0, 100.0);
+        let polys = sh_workload::osm_like_polygons(50, &uni, 10.0, 7);
+        upload(&dfs, "/polys", &polys).unwrap();
+        let err = run_script(
+            &dfs,
+            "p = LOAD '/polys' AS POLYGON;\n\
+             i = INDEX p AS grid INTO '/idx' FORMAT binary;",
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("binary block format"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Recursive-descent parser for Pigeon.
 
+use sh_core::storage::BlockFormat;
 use sh_geom::{Point, Rect};
 use sh_index::PartitionKind;
 
@@ -248,11 +249,24 @@ impl Parser {
                     .ok_or_else(|| self.err(format!("unknown index technique {kname}")))?;
                 self.keyword("INTO")?;
                 let path = self.string()?;
+                // Optional layout clause: `FORMAT text|binary`.
+                let mut format = BlockFormat::Text;
+                if matches!(self.peek(), Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("FORMAT"))
+                {
+                    self.keyword("FORMAT")?;
+                    let fname = self.ident()?;
+                    format = match fname.to_ascii_lowercase().as_str() {
+                        "text" => BlockFormat::Text,
+                        "binary" => BlockFormat::Binary,
+                        _ => return Err(self.err(format!("unknown block format {fname}"))),
+                    };
+                }
                 Stmt::Index {
                     var,
                     src,
                     kind,
                     path,
+                    format,
                 }
             }
             "FILTER" => {
@@ -400,6 +414,36 @@ mod tests {
         ));
         assert!(matches!(script.stmts[3], Stmt::Knn { k: 3, .. }));
         assert!(matches!(script.stmts.last(), Some(Stmt::Store { .. })));
+    }
+
+    #[test]
+    fn index_format_clause() {
+        // No clause → text.
+        let s = parse("i = INDEX p AS grid INTO '/idx';").unwrap();
+        assert!(matches!(
+            s.stmts[0],
+            Stmt::Index {
+                format: BlockFormat::Text,
+                ..
+            }
+        ));
+        let s = parse("i = INDEX p AS str+ INTO '/idx' FORMAT binary;").unwrap();
+        assert!(matches!(
+            s.stmts[0],
+            Stmt::Index {
+                format: BlockFormat::Binary,
+                ..
+            }
+        ));
+        let s = parse("i = INDEX p AS grid INTO '/idx' FORMAT TEXT;").unwrap();
+        assert!(matches!(
+            s.stmts[0],
+            Stmt::Index {
+                format: BlockFormat::Text,
+                ..
+            }
+        ));
+        assert!(parse("i = INDEX p AS grid INTO '/idx' FORMAT parquet;").is_err());
     }
 
     #[test]

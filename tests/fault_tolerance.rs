@@ -333,3 +333,100 @@ fn two_concurrent_jobs_under_chaos_are_deterministic() {
         );
     }
 }
+
+#[test]
+fn text_and_binary_indexes_answer_identically_under_chaos() {
+    use spatialhadoop::core::ops::join;
+    use spatialhadoop::core::storage::{build_index_fmt, BlockFormat};
+    use spatialhadoop::workload::rects;
+
+    for iter in 0..chaos_iters() {
+        let mut cfg = ClusterConfig::small_for_tests();
+        cfg.retry_backoff_ms = 0;
+        let dfs = Dfs::new(cfg);
+        let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+        let pts = points(20_000, Distribution::Uniform, &uni, 7);
+        upload(&dfs, "/data/points", &pts).unwrap();
+        let ra = rects(4_000, &uni, 8_000.0, 12);
+        let rb = rects(4_000, &uni, 8_000.0, 13);
+        upload(&dfs, "/data/ra", &ra).unwrap();
+        upload(&dfs, "/data/rb", &rb).unwrap();
+
+        // The same data indexed twice, once per layout. Builds run
+        // fault-free so both formats see identical partition boundaries.
+        let build = |fmt: BlockFormat, tag: &str| {
+            let p = build_index_fmt::<Point>(
+                &dfs,
+                "/data/points",
+                &format!("/i{tag}/p"),
+                PartitionKind::StrPlus,
+                fmt,
+            )
+            .unwrap()
+            .value;
+            let a = build_index_fmt::<Rect>(
+                &dfs,
+                "/data/ra",
+                &format!("/i{tag}/a"),
+                PartitionKind::Grid,
+                fmt,
+            )
+            .unwrap()
+            .value;
+            let b = build_index_fmt::<Rect>(
+                &dfs,
+                "/data/rb",
+                &format!("/i{tag}/b"),
+                PartitionKind::Grid,
+                fmt,
+            )
+            .unwrap()
+            .value;
+            (p, a, b)
+        };
+        let (tp, ta, tb) = build(BlockFormat::Text, "t");
+        let (bp, ba, bb) = build(BlockFormat::Binary, "b");
+
+        // Chaos arms only for the queries.
+        dfs.update_ft_options(|ft| {
+            ft.node_blacklist_threshold = 1;
+            ft.fault_plan = FaultPlan::none().kill_node(0).fail_task(1, 0);
+        });
+        dfs.cache().clear();
+
+        let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
+        let range_run = |file: &spatialhadoop::core::SpatialFile, out: &str| {
+            let r = range::range_spatial::<Point>(&dfs, file, &query, out).unwrap();
+            let lines: Vec<String> = r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+            let mut raw = String::new();
+            for part in dfs.list(&format!("{out}/part-")) {
+                raw.push_str(&dfs.read_to_string(&part).unwrap());
+            }
+            (lines, raw)
+        };
+        let (rt_lines, rt_raw) = range_run(&tp, "/out/rt");
+        let (rb_lines, rb_raw) = range_run(&bp, "/out/rb");
+        assert!(!rt_lines.is_empty(), "iteration {iter}: empty range result");
+        assert_eq!(rt_lines, rb_lines, "iteration {iter}: range diverged");
+        assert_eq!(
+            rt_raw, rb_raw,
+            "iteration {iter}: range bytes not identical"
+        );
+
+        let dj_run = |a: &spatialhadoop::core::SpatialFile,
+                      b: &spatialhadoop::core::SpatialFile,
+                      out: &str| {
+            let r = join::distributed_join(&dfs, a, b, out).unwrap();
+            let mut raw = String::new();
+            for part in dfs.list(&format!("{out}/part-")) {
+                raw.push_str(&dfs.read_to_string(&part).unwrap());
+            }
+            (r.value, raw)
+        };
+        let (jt, jt_raw) = dj_run(&ta, &tb, "/out/jt");
+        let (jb, jb_raw) = dj_run(&ba, &bb, "/out/jb");
+        assert!(!jt.is_empty(), "iteration {iter}: empty join result");
+        assert_eq!(jt, jb, "iteration {iter}: join diverged");
+        assert_eq!(jt_raw, jb_raw, "iteration {iter}: join bytes not identical");
+    }
+}

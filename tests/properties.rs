@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use spatialhadoop::core::ops::{range, single, skyline};
-use spatialhadoop::core::storage::{build_index, upload};
+use spatialhadoop::core::storage::{build_index, build_index_fmt, upload, BlockFormat};
 use spatialhadoop::dfs::{ClusterConfig, Dfs};
 use spatialhadoop::geom::algorithms::closest_pair::{closest_pair, closest_pair_naive};
 use spatialhadoop::geom::algorithms::convex_hull::{convex_hull, hull_contains};
@@ -339,6 +339,32 @@ proptest! {
         let cp = closest_pair::closest_pair_spatial(&dfs, &file, "/ph/cp").unwrap();
         let truth = closest_pair(&pts).unwrap();
         prop_assert!((cp.value.unwrap().distance - truth.distance).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_index_answers_exactly_like_text(
+        pts in arb_points(600),
+        q in arb_rect(),
+        kind in prop::sample::select(vec![
+            PartitionKind::Grid,
+            PartitionKind::StrPlus,
+            PartitionKind::Hilbert,
+        ]),
+    ) {
+        let dfs = Dfs::new(ClusterConfig::small_for_tests());
+        upload(&dfs, "/pb/points", &pts).unwrap();
+        let tf = build_index_fmt::<Point>(&dfs, "/pb/points", "/pb/it", kind, BlockFormat::Text)
+            .unwrap()
+            .value;
+        let bf = build_index_fmt::<Point>(&dfs, "/pb/points", "/pb/ib", kind, BlockFormat::Binary)
+            .unwrap()
+            .value;
+        let sorted = |file, out| {
+            let mut v = range::range_spatial::<Point>(&dfs, file, &q, out).unwrap().value;
+            v.sort_by(Point::cmp_xy);
+            v
+        };
+        prop_assert_eq!(sorted(&tf, "/pb/ot"), sorted(&bf, "/pb/ob"));
     }
 
     #[test]
