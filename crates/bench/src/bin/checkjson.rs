@@ -20,8 +20,21 @@ fn required_fields(benchmark: &str) -> &'static [&'static str] {
             "text_cold_secs",
             "binary_cold_secs",
             "binary_speedup",
+            "owned_scan_cold_secs",
+            "mmap_scan_cold_secs",
+            "mmap_speedup",
         ],
         "throughput" => &["concurrent_secs"],
+        _ => &[],
+    }
+}
+
+/// Boolean fields a known benchmark's artifact must carry. `throughput`
+/// must say `gate_skipped: true|false` explicitly so a single-core run
+/// is distinguishable from a passing multi-core one downstream.
+fn required_bool_fields(benchmark: &str) -> &'static [&'static str] {
+    match benchmark {
+        "throughput" => &["gate_skipped"],
         _ => &[],
     }
 }
@@ -63,13 +76,34 @@ fn main() {
             .filter(|f| value.get(f).and_then(|v| v.as_f64()).is_none())
             .copied()
             .collect();
-        if missing.is_empty() {
-            println!("ok {path}: benchmark \"{name}\"");
+        let missing_bools: Vec<&str> = required_bool_fields(&name)
+            .iter()
+            .filter(|f| value.get(f).and_then(|v| v.as_bool()).is_none())
+            .copied()
+            .collect();
+        if missing.is_empty() && missing_bools.is_empty() {
+            let skipped = value
+                .get("gate_skipped")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
+            if skipped {
+                println!("ok {path}: benchmark \"{name}\" (gate_skipped: true)");
+            } else {
+                println!("ok {path}: benchmark \"{name}\"");
+            }
         } else {
-            eprintln!(
-                "FAIL {path}: benchmark \"{name}\" missing numeric field(s): {}",
-                missing.join(", ")
-            );
+            if !missing.is_empty() {
+                eprintln!(
+                    "FAIL {path}: benchmark \"{name}\" missing numeric field(s): {}",
+                    missing.join(", ")
+                );
+            }
+            if !missing_bools.is_empty() {
+                eprintln!(
+                    "FAIL {path}: benchmark \"{name}\" missing boolean field(s): {}",
+                    missing_bools.join(", ")
+                );
+            }
             failed = true;
         }
     }

@@ -191,6 +191,9 @@ fn main() {
     json.push_str(&format!("  \"serial_secs\": {serial_secs:.6},\n"));
     json.push_str(&format!("  \"concurrent_secs\": {concurrent_secs:.6},\n"));
     json.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
+    // `gate_skipped` is the explicit single-core marker: a sub-1.5×
+    // speedup in this file is a regression only when it is false.
+    json.push_str(&format!("  \"gate_skipped\": {},\n", cores < MIN_CORES));
     json.push_str(&format!(
         "  \"speedup_gate\": {{\"min_speedup\": {MIN_SPEEDUP}, \"min_cores\": {MIN_CORES}, \"enforced\": {}}}\n",
         cores >= MIN_CORES

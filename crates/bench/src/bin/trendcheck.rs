@@ -5,12 +5,16 @@
 //!     BENCH_hotpath_ci.json BENCH_throughput_ci.json
 //! ```
 //!
-//! Reads each bench artifact, extracts its primary metric, appends a run
-//! record (git revision, cores, metrics) to `BENCH_trend.json`, and
-//! exits non-zero if any metric grew past the tolerated ratio versus the
-//! previous run. Options: `--trend <path>` overrides the history file,
-//! `--max-ratio <r>` (or the `SH_TREND_MAX_RATIO` env var) overrides the
-//! default 1.2 gate.
+//! Reads each bench artifact, extracts its tracked metrics, appends a
+//! run record (git revision, cores, metrics, skipped gates) to
+//! `BENCH_trend.json`, and exits non-zero if any metric regressed past
+//! the tolerated ratio versus the previous run — direction-aware, so
+//! latencies fail on growth and `*_speedup` ratios fail on shrinkage.
+//! Gates that cannot run (concurrency metrics on a starved host) are
+//! recorded as `gate_skipped: true` in the run record instead of
+//! silently passing. Options: `--trend <path>` overrides the history
+//! file, `--max-ratio <r>` (or the `SH_TREND_MAX_RATIO` env var)
+//! overrides the default 1.2 gate.
 
 use sh_bench::trend::{self, Run};
 
@@ -45,6 +49,7 @@ fn main() {
         .unwrap_or(trend::DEFAULT_MAX_RATIO);
 
     let mut entries = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
     for path in &inputs {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -54,29 +59,31 @@ fn main() {
             Ok(v) => v,
             Err(e) => fail(&format!("{path}: malformed JSON: {e}")),
         };
-        match trend::extract_entry(&doc) {
-            Some(e) => {
-                // Concurrency metrics from a starved host say nothing
-                // about the code; keep them out of the trend baseline.
-                let cores = sh_bench::cores();
-                if trend::is_concurrency_metric(&e.benchmark)
-                    && cores < trend::MIN_CONCURRENCY_CORES
-                {
-                    println!(
-                        "trend: {path}: {}.{} skipped (cores {cores} < {})",
-                        e.benchmark,
-                        e.metric,
-                        trend::MIN_CONCURRENCY_CORES
-                    );
-                    continue;
-                }
+        let extracted = trend::extract_entries(&doc);
+        if extracted.is_empty() {
+            println!("trend: {path}: no tracked metric, skipped");
+            continue;
+        }
+        for e in extracted {
+            // Concurrency metrics from a starved host say nothing about
+            // the code; record the skip explicitly instead of letting
+            // them poison (or silently pass) the trend baseline.
+            let cores = sh_bench::cores();
+            if trend::is_concurrency_metric(&e.benchmark) && cores < trend::MIN_CONCURRENCY_CORES {
                 println!(
-                    "trend: {path}: {}.{} = {:.6}",
-                    e.benchmark, e.metric, e.value
+                    "trend: {path}: {}.{} gate_skipped: true (cores {cores} < {})",
+                    e.benchmark,
+                    e.metric,
+                    trend::MIN_CONCURRENCY_CORES
                 );
-                entries.push(e);
+                skipped.push(format!("{}.{}", e.benchmark, e.metric));
+                continue;
             }
-            None => println!("trend: {path}: no tracked metric, skipped"),
+            println!(
+                "trend: {path}: {}.{} = {:.6}",
+                e.benchmark, e.metric, e.value
+            );
+            entries.push(e);
         }
     }
     if entries.is_empty() {
@@ -87,11 +94,13 @@ fn main() {
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let n_skipped = skipped.len();
     let new_run = Run {
         unix_secs,
         git_rev: sh_bench::git_rev(),
         cores: sh_bench::cores(),
         entries,
+        skipped,
     };
 
     let history = std::fs::read_to_string(&trend_path).ok();
@@ -104,7 +113,9 @@ fn main() {
         fail(&format!("{trend_path}: write failed: {e}"));
     }
     let runs = trend::parse_trend(&text).map(|r| r.len()).unwrap_or(0);
-    println!("trend: appended run to {trend_path} ({runs} run(s) on record)");
+    println!(
+        "trend: appended run to {trend_path} ({runs} run(s) on record, {n_skipped} gate(s) skipped)"
+    );
 
     if regressions.is_empty() {
         println!("trend: no regressions past {max_ratio:.2}x");

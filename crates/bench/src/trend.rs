@@ -1,13 +1,15 @@
 //! Bench regression tracker: run history plus a ratio gate.
 //!
 //! The `trendcheck` bin reads every `BENCH_*.json` artifact the bench
-//! bins wrote, extracts one primary lower-is-better metric per
-//! benchmark, appends a run record (git revision, core count, metric
-//! entries) to `BENCH_trend.json`, and compares the new run against the
-//! previous one. Any metric that grew by more than the tolerated ratio
-//! (default [`DEFAULT_MAX_RATIO`], i.e. +20%) is a regression and fails
-//! CI. All the logic lives here so the gate itself is unit-testable
-//! without running a benchmark.
+//! bins wrote, extracts each benchmark's tracked metrics, appends a run
+//! record (git revision, core count, metric entries, skipped gates) to
+//! `BENCH_trend.json`, and compares the new run against the previous
+//! one. Tracking is direction-aware: latency metrics regress when they
+//! *grow* past the tolerated ratio (default [`DEFAULT_MAX_RATIO`], i.e.
+//! +20%); speedup-style metrics (`*_speedup`, e.g. `binary_speedup` and
+//! `mmap_speedup` from the format/scan ablations) regress when they
+//! *shrink* by the same ratio. Either way CI fails. All the logic lives
+//! here so the gate itself is unit-testable without running a benchmark.
 
 use sh_trace::json::{self, Value};
 
@@ -32,9 +34,16 @@ pub struct Run {
     pub git_rev: String,
     pub cores: usize,
     pub entries: Vec<Entry>,
+    /// `benchmark.metric` names whose gate was explicitly skipped this
+    /// run (e.g. concurrency metrics on a starved host) — recorded so a
+    /// skipped gate is visible in the history instead of silently
+    /// indistinguishable from a passing one.
+    pub skipped: Vec<String>,
 }
 
-/// A gate violation: `current > previous * max_ratio`.
+/// A gate violation: `current > previous * max_ratio` for
+/// lower-is-better metrics, `current < previous / max_ratio` for
+/// higher-is-better ones.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Regression {
     pub benchmark: String,
@@ -58,13 +67,23 @@ impl Regression {
     }
 }
 
-/// The single lower-is-better number the gate watches per benchmark.
-fn primary_metric(benchmark: &str) -> Option<&'static str> {
+/// The metrics the gate watches per benchmark. `warm_secs_mean` and
+/// `concurrent_secs` are lower-is-better latencies; the two speedup
+/// ratios guard the storage-format and scan-path wins so a format
+/// regression (binary decode or mmap zero-copy getting slower relative
+/// to its baseline) fails CI even when absolute times drift.
+pub fn tracked_metrics(benchmark: &str) -> &'static [&'static str] {
     match benchmark {
-        "hotpath" => Some("warm_secs_mean"),
-        "throughput" => Some("concurrent_secs"),
-        _ => None,
+        "hotpath" => &["warm_secs_mean", "binary_speedup", "mmap_speedup"],
+        "throughput" => &["concurrent_secs"],
+        _ => &[],
     }
+}
+
+/// Direction of a tracked metric: speedup ratios grow when the code gets
+/// faster, every other tracked metric is a time that shrinks.
+pub fn higher_is_better(metric: &str) -> bool {
+    metric.ends_with("speedup")
 }
 
 /// Minimum core count for concurrency metrics to be meaningful: below
@@ -79,22 +98,30 @@ pub fn is_concurrency_metric(benchmark: &str) -> bool {
     benchmark == "throughput"
 }
 
-/// Extracts the tracked entry from one parsed bench artifact. Returns
-/// `None` for benchmarks without a primary metric (they are checked for
-/// well-formedness by `checkjson` but not trended).
-pub fn extract_entry(doc: &Value) -> Option<Entry> {
-    let benchmark = doc.get("benchmark")?.as_str()?.to_string();
-    let metric = primary_metric(&benchmark)?;
-    let value = doc.get(metric)?.as_f64()?;
-    Some(Entry {
-        benchmark,
-        metric: metric.to_string(),
-        value,
-    })
+/// Extracts every tracked entry from one parsed bench artifact. Returns
+/// an empty vec for benchmarks without tracked metrics (they are checked
+/// for well-formedness by `checkjson` but not trended). A tracked metric
+/// missing from the artifact is simply absent — `checkjson` is the gate
+/// for artifact completeness.
+pub fn extract_entries(doc: &Value) -> Vec<Entry> {
+    let Some(benchmark) = doc.get("benchmark").and_then(|b| b.as_str()) else {
+        return Vec::new();
+    };
+    tracked_metrics(benchmark)
+        .iter()
+        .filter_map(|metric| {
+            Some(Entry {
+                benchmark: benchmark.to_string(),
+                metric: metric.to_string(),
+                value: doc.get(metric)?.as_f64()?,
+            })
+        })
+        .collect()
 }
 
-/// Compares the new run's entries against the previous run's. Metrics
-/// absent from the previous run (first run, new benchmark) pass.
+/// Compares the new run's entries against the previous run's,
+/// direction-aware per [`higher_is_better`]. Metrics absent from the
+/// previous run (first run, new benchmark) pass.
 pub fn find_regressions(previous: &[Entry], current: &[Entry], max_ratio: f64) -> Vec<Regression> {
     let mut out = Vec::new();
     for cur in current {
@@ -102,7 +129,12 @@ pub fn find_regressions(previous: &[Entry], current: &[Entry], max_ratio: f64) -
             .iter()
             .find(|p| p.benchmark == cur.benchmark && p.metric == cur.metric);
         if let Some(prev) = prev {
-            if prev.value > 0.0 && cur.value > prev.value * max_ratio {
+            let regressed = if higher_is_better(&cur.metric) {
+                prev.value > 0.0 && cur.value < prev.value / max_ratio
+            } else {
+                prev.value > 0.0 && cur.value > prev.value * max_ratio
+            };
+            if regressed {
                 out.push(Regression {
                     benchmark: cur.benchmark.clone(),
                     metric: cur.metric.clone(),
@@ -138,6 +170,16 @@ pub fn parse_trend(text: &str) -> Result<Vec<Run>, String> {
             })
             .collect::<Option<Vec<_>>>()
             .ok_or("malformed trend entry")?;
+        // Absent in histories written before skip tracking: default empty.
+        let skipped = run
+            .get("skipped")
+            .and_then(|s| s.as_arr())
+            .map(|arr| {
+                arr.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
         out.push(Run {
             unix_secs: run.get("unix_secs").and_then(|v| v.as_u64()).unwrap_or(0),
             git_rev: run
@@ -147,6 +189,7 @@ pub fn parse_trend(text: &str) -> Result<Vec<Run>, String> {
                 .to_string(),
             cores: run.get("cores").and_then(|v| v.as_usize()).unwrap_or(0),
             entries,
+            skipped,
         });
     }
     Ok(out)
@@ -175,6 +218,10 @@ pub fn render_trend(runs: &[Run]) -> String {
                             })
                             .collect(),
                     ),
+                ),
+                (
+                    "skipped".into(),
+                    Value::Arr(r.skipped.iter().cloned().map(Value::Str).collect()),
                 ),
             ])
         })
@@ -228,28 +275,72 @@ mod tests {
             git_rev: rev.into(),
             cores: 8,
             entries,
+            skipped: Vec::new(),
         }
     }
 
     #[test]
-    fn extracts_primary_metrics_from_bench_artifacts() {
-        let hotpath =
-            json::parse(r#"{"benchmark": "hotpath", "cold_secs": 4.0, "warm_secs_mean": 0.91}"#)
-                .unwrap();
+    fn extracts_tracked_metrics_from_bench_artifacts() {
+        let hotpath = json::parse(
+            r#"{"benchmark": "hotpath", "cold_secs": 4.0, "warm_secs_mean": 0.91,
+                "binary_speedup": 2.1, "mmap_speedup": 1.6}"#,
+        )
+        .unwrap();
         assert_eq!(
-            extract_entry(&hotpath),
-            Some(entry("hotpath", "warm_secs_mean", 0.91))
+            extract_entries(&hotpath),
+            vec![
+                entry("hotpath", "warm_secs_mean", 0.91),
+                entry("hotpath", "binary_speedup", 2.1),
+                entry("hotpath", "mmap_speedup", 1.6),
+            ]
         );
 
         let throughput =
             json::parse(r#"{"benchmark": "throughput", "concurrent_secs": 12}"#).unwrap();
         assert_eq!(
-            extract_entry(&throughput),
-            Some(entry("throughput", "concurrent_secs", 12.0))
+            extract_entries(&throughput),
+            vec![entry("throughput", "concurrent_secs", 12.0)]
         );
 
         let unknown = json::parse(r#"{"benchmark": "mystery", "secs": 1.0}"#).unwrap();
-        assert_eq!(extract_entry(&unknown), None);
+        assert!(extract_entries(&unknown).is_empty());
+    }
+
+    #[test]
+    fn speedup_metrics_gate_on_shrinkage_not_growth() {
+        assert!(higher_is_better("binary_speedup"));
+        assert!(higher_is_better("mmap_speedup"));
+        assert!(!higher_is_better("warm_secs_mean"));
+        assert!(!higher_is_better("concurrent_secs"));
+
+        // mmap_speedup fell from 2.0x to 1.5x (-25%): regression.
+        let previous = vec![entry("hotpath", "mmap_speedup", 2.0)];
+        let current = vec![entry("hotpath", "mmap_speedup", 1.5)];
+        let regs = find_regressions(&previous, &current, DEFAULT_MAX_RATIO);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "mmap_speedup");
+        assert!(regs[0].render().contains("-25.0%"));
+
+        // Growing or mildly dipping speedups pass.
+        let current = vec![entry("hotpath", "mmap_speedup", 2.5)];
+        assert!(find_regressions(&previous, &current, DEFAULT_MAX_RATIO).is_empty());
+        let current = vec![entry("hotpath", "mmap_speedup", 1.8)];
+        assert!(find_regressions(&previous, &current, DEFAULT_MAX_RATIO).is_empty());
+    }
+
+    #[test]
+    fn skipped_gates_round_trip_and_default_empty_for_old_history() {
+        let mut r = run("dddd444", vec![entry("hotpath", "warm_secs_mean", 1.0)]);
+        r.skipped = vec!["throughput.concurrent_secs".to_string()];
+        let text = render_trend(&[r.clone()]);
+        assert!(text.contains("throughput.concurrent_secs"));
+        let runs = parse_trend(&text).unwrap();
+        assert_eq!(runs[0].skipped, r.skipped);
+
+        // Histories written before skip tracking parse with no skips.
+        let old = r#"{"trend": "sh-bench", "runs": [{"unix_secs": 1, "git_rev": "e",
+            "cores": 2, "entries": []}]}"#;
+        assert_eq!(parse_trend(old).unwrap()[0].skipped, Vec::<String>::new());
     }
 
     #[test]

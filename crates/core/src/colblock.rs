@@ -4,8 +4,8 @@
 //! small versioned header followed by columnar `f64` coordinate arrays
 //! (`x y` for points, `x1 y1 x2 y2` for rects). Scans iterate the column
 //! arrays directly — no per-record parse, no per-record branch — and the
-//! block cache shares the decoded columns behind `Arc<[f64]>`, so warm
-//! reads hand out views instead of re-parsed `Vec<Record>`s.
+//! block cache shares the decoded columns behind [`ColSlice`] handles, so
+//! warm reads hand out views instead of re-parsed `Vec<Record>`s.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -26,9 +26,29 @@
 //! binary mirror of the text codec's checks. Every violation is an
 //! [`OpError::Corrupt`]; readers treat that exactly like a stale text
 //! sidecar and fall back.
+//!
+//! Two decode paths share that validation:
+//!
+//! * [`decode`] copies each column into an owned `Arc<[f64]>` — always
+//!   available, endianness-independent.
+//! * [`decode_mapped`] reinterprets the columns of an mmap-backed buffer
+//!   in place (`&[f64]` views into the mapping) — zero-copy, used when
+//!   the DFS spill store hands out a mapping. It is gated on a
+//!   little-endian target and 8-byte alignment of every column (the
+//!   header makes offsets multiples of 8 and mappings are page-aligned,
+//!   so the check only fails on exotic platforms or the owned-fallback
+//!   mapping); any gate failure falls back to [`decode`].
+//!
+//! The MBR filter is a chunked, branch-light kernel: fixed-width lanes
+//! are compared with non-short-circuiting `&` into a selection bitmask
+//! (autovectorizable; an explicit SSE2 path exists behind the
+//! `explicit-simd` feature), and match indices are extracted from the
+//! mask — no per-hit `Vec` push inside the comparison loop.
 
+use std::ops::Deref;
 use std::sync::Arc;
 
+use memmap2::Mmap;
 use sh_geom::{Record, Rect};
 
 use crate::opresult::OpError;
@@ -38,6 +58,9 @@ pub const MAGIC: [u8; 4] = *b"SHCB";
 
 /// Current format version.
 pub const VERSION: u16 = 1;
+
+/// Lanes per chunk in the MBR filter kernel.
+const LANES: usize = 8;
 
 /// Header length for `ncols` columns.
 fn header_len(ncols: usize) -> usize {
@@ -50,10 +73,52 @@ pub fn is_binary(data: &[u8]) -> bool {
     data.len() >= 4 && data[..4] == MAGIC
 }
 
+/// One coordinate column: either an owned copy of the data or a zero-copy
+/// view into an mmap-backed buffer. Both deref to `&[f64]`; cloning bumps
+/// a refcount, never copies coordinates.
+#[derive(Clone, Debug)]
+pub enum ColSlice {
+    /// Owned column (the classic decode path).
+    Owned(Arc<[f64]>),
+    /// View into a shared mapping. Invariants (upheld by
+    /// [`decode_mapped`]): `off` is 8-byte aligned relative to the
+    /// mapping base, `off + 8*len <= map.len()`, and the target is
+    /// little-endian so the raw bytes *are* the `f64` values.
+    Mapped {
+        /// The mapping; holding it keeps the pages alive.
+        map: Arc<Mmap>,
+        /// Byte offset of the column within the mapping.
+        off: usize,
+        /// Number of `f64` elements.
+        len: usize,
+    },
+}
+
+impl Deref for ColSlice {
+    type Target = [f64];
+
+    #[inline]
+    fn deref(&self) -> &[f64] {
+        match self {
+            ColSlice::Owned(a) => a,
+            ColSlice::Mapped { map, off, len } => {
+                // Sound per the variant invariants: in-bounds, 8-aligned,
+                // read-only, and the Arc keeps the mapping alive for the
+                // lifetime of this borrow.
+                unsafe { std::slice::from_raw_parts(map.as_ptr().add(*off) as *const f64, *len) }
+            }
+        }
+    }
+}
+
+impl ColSlice {
+    /// True when this column borrows an mmap-backed buffer.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, ColSlice::Mapped { .. })
+    }
+}
+
 /// A decoded columnar block: record kind plus shared coordinate columns.
-///
-/// Columns are `Arc<[f64]>` so a cached block hands out zero-copy views;
-/// cloning the block clones refcounts, never coordinate data.
 #[derive(Clone, Debug)]
 pub struct ColumnarBlock {
     /// Record kind tag (see [`Record::BINARY_KIND`]).
@@ -61,7 +126,7 @@ pub struct ColumnarBlock {
     /// Records in the block.
     pub count: usize,
     /// Coordinate columns, each of length `count`.
-    pub cols: Vec<Arc<[f64]>>,
+    pub cols: Vec<ColSlice>,
 }
 
 fn corrupt(msg: impl Into<String>) -> OpError {
@@ -105,11 +170,19 @@ fn read_u64(data: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(data[at..at + 8].try_into().unwrap())
 }
 
-/// Decodes a columnar block, validating every header field and rejecting
-/// non-finite coordinates. Corrupt or truncated input is
-/// [`OpError::Corrupt`]; callers fall back to the text path or a rebuild
-/// exactly as they do for a stale `_lidx` sidecar.
-pub fn decode(data: &[u8]) -> Result<ColumnarBlock, OpError> {
+/// Validated header facts shared by both decode paths.
+struct Header {
+    kind: u8,
+    ncols: usize,
+    count: usize,
+    /// Byte offset of each column (validated contiguous, in order).
+    col_offsets: Vec<usize>,
+}
+
+/// Validates everything about `data` except coordinate finiteness:
+/// magic, version, kind/column agreement, count/length arithmetic, and
+/// the offset table.
+fn parse_header(data: &[u8]) -> Result<Header, OpError> {
     if data.len() < 16 {
         return Err(corrupt(format!("truncated header ({} bytes)", data.len())));
     }
@@ -152,23 +225,92 @@ pub fn decode(data: &[u8]) -> Result<ColumnarBlock, OpError> {
             data.len()
         )));
     }
-    let mut cols = Vec::with_capacity(ncols);
+    let mut col_offsets = Vec::with_capacity(ncols);
     for c in 0..ncols {
         let off = read_u64(data, 16 + 8 * c) as usize;
         if off != hlen + c * col_bytes {
             return Err(corrupt(format!("bad offset for column {c}: {off}")));
         }
-        let mut col = Vec::with_capacity(count);
-        for i in 0..count {
+        col_offsets.push(off);
+    }
+    Ok(Header {
+        kind,
+        ncols,
+        count,
+        col_offsets,
+    })
+}
+
+/// Decodes a columnar block into owned columns, validating every header
+/// field and rejecting non-finite coordinates. Corrupt or truncated
+/// input is [`OpError::Corrupt`]; callers fall back to the text path or
+/// a rebuild exactly as they do for a stale `_lidx` sidecar.
+pub fn decode(data: &[u8]) -> Result<ColumnarBlock, OpError> {
+    let h = parse_header(data)?;
+    let mut cols = Vec::with_capacity(h.ncols);
+    for (c, &off) in h.col_offsets.iter().enumerate() {
+        let mut col = Vec::with_capacity(h.count);
+        for i in 0..h.count {
             let v = f64::from_le_bytes(data[off + 8 * i..off + 8 * i + 8].try_into().unwrap());
             if !v.is_finite() {
                 return Err(corrupt(format!("non-finite value in column {c} row {i}")));
             }
             col.push(v);
         }
-        cols.push(Arc::from(col.into_boxed_slice()));
+        cols.push(ColSlice::Owned(Arc::from(col.into_boxed_slice())));
     }
-    Ok(ColumnarBlock { kind, count, cols })
+    Ok(ColumnarBlock {
+        kind: h.kind,
+        count: h.count,
+        cols,
+    })
+}
+
+/// Decodes a columnar block *in place* over an mmap-backed buffer: the
+/// coordinate columns become `&[f64]` views into the mapping, no copy.
+///
+/// Gates — all must hold, else this silently falls back to the owned
+/// [`decode`] of the mapped bytes (identical result, one copy):
+///
+/// * little-endian target (the raw bytes are the values);
+/// * every column 8-byte aligned in memory (mapping base + offset).
+///
+/// Header validation runs unconditionally. Coordinate finiteness is
+/// checked when `validate` is true; pass false only when a previous
+/// validation of these exact bytes already passed (the spill store's
+/// `validated` flag) — that is what lets repeat cold scans start at
+/// memory speed.
+pub fn decode_mapped(map: Arc<Mmap>, validate: bool) -> Result<ColumnarBlock, OpError> {
+    let h = parse_header(&map)?;
+    let base = map.as_ptr() as usize;
+    let aligned = h
+        .col_offsets
+        .iter()
+        .all(|&off| (base + off).is_multiple_of(8));
+    if !cfg!(target_endian = "little") || !aligned {
+        return decode(&map);
+    }
+    let mut cols = Vec::with_capacity(h.ncols);
+    for &off in &h.col_offsets {
+        cols.push(ColSlice::Mapped {
+            map: Arc::clone(&map),
+            off,
+            len: h.count,
+        });
+    }
+    let block = ColumnarBlock {
+        kind: h.kind,
+        count: h.count,
+        cols,
+    };
+    if validate {
+        for (c, col) in block.cols.iter().enumerate() {
+            if let Some(i) = col.iter().position(|v| !v.is_finite()) {
+                return Err(corrupt(format!("non-finite value in column {c} row {i}")));
+            }
+        }
+    }
+    Ok(block)
 }
 
 impl ColumnarBlock {
@@ -197,10 +339,155 @@ impl ColumnarBlock {
         R::from_cols(&views, i)
     }
 
+    /// True when any column is a zero-copy view into an mmap-backed
+    /// buffer (introspection for tests and cache accounting).
+    pub fn is_mapped(&self) -> bool {
+        self.cols.iter().any(ColSlice::is_mapped)
+    }
+
     /// Indices of every record whose MBR intersects `q` — the hot inner
-    /// loop. Iterates the coordinate arrays directly: branch-light,
-    /// cache-friendly, auto-vectorizable.
+    /// loop, chunked (see module docs).
     pub fn mbr_filter(&self, q: &Rect) -> Vec<usize> {
+        self.mbr_filter_range(q, 0, self.count)
+    }
+
+    /// [`ColumnarBlock::mbr_filter`] restricted to records
+    /// `start..end` — the unit of work for parallel partition scans.
+    /// Returned indices are absolute and ascending.
+    pub fn mbr_filter_range(&self, q: &Rect, start: usize, end: usize) -> Vec<usize> {
+        debug_assert!(start <= end && end <= self.count);
+        #[cfg(all(feature = "explicit-simd", target_arch = "x86_64"))]
+        {
+            return self.mbr_filter_range_sse2(q, start, end);
+        }
+        #[allow(unreachable_code)]
+        self.mbr_filter_range_chunked(q, start, end)
+    }
+
+    /// Chunked autovectorizing kernel: per-chunk selection bitmask built
+    /// with non-short-circuiting `&`, hits extracted from the mask.
+    fn mbr_filter_range_chunked(&self, q: &Rect, start: usize, end: usize) -> Vec<usize> {
+        let mut hits = Vec::new();
+        match self.kind {
+            0 => {
+                let xs = &self.cols[0][start..end];
+                let ys = &self.cols[1][start..end];
+                let n = xs.len();
+                let mut base = 0;
+                while base + LANES <= n {
+                    let (cx, cy) = (&xs[base..base + LANES], &ys[base..base + LANES]);
+                    let mut mask = 0u32;
+                    for l in 0..LANES {
+                        let inside =
+                            (cx[l] >= q.x1) & (cx[l] <= q.x2) & (cy[l] >= q.y1) & (cy[l] <= q.y2);
+                        mask |= (inside as u32) << l;
+                    }
+                    push_mask_hits(&mut hits, mask, start + base);
+                    base += LANES;
+                }
+                for l in base..n {
+                    if (xs[l] >= q.x1) & (xs[l] <= q.x2) & (ys[l] >= q.y1) & (ys[l] <= q.y2) {
+                        hits.push(start + l);
+                    }
+                }
+            }
+            _ => {
+                let x1 = &self.cols[0][start..end];
+                let y1 = &self.cols[1][start..end];
+                let x2 = &self.cols[2][start..end];
+                let y2 = &self.cols[3][start..end];
+                let n = x1.len();
+                let mut base = 0;
+                while base + LANES <= n {
+                    let (cx1, cy1) = (&x1[base..base + LANES], &y1[base..base + LANES]);
+                    let (cx2, cy2) = (&x2[base..base + LANES], &y2[base..base + LANES]);
+                    let mut mask = 0u32;
+                    for l in 0..LANES {
+                        let hit = (cx1[l] <= q.x2)
+                            & (cx2[l] >= q.x1)
+                            & (cy1[l] <= q.y2)
+                            & (cy2[l] >= q.y1);
+                        mask |= (hit as u32) << l;
+                    }
+                    push_mask_hits(&mut hits, mask, start + base);
+                    base += LANES;
+                }
+                for l in base..n {
+                    if (x1[l] <= q.x2) & (x2[l] >= q.x1) & (y1[l] <= q.y2) & (y2[l] >= q.y1) {
+                        hits.push(start + l);
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Explicit SSE2 kernel (2 f64 lanes, baseline on x86_64): compare
+    /// into vector masks, `movmskpd` to a bitmask, extract hits.
+    #[cfg(all(feature = "explicit-simd", target_arch = "x86_64"))]
+    fn mbr_filter_range_sse2(&self, q: &Rect, start: usize, end: usize) -> Vec<usize> {
+        use std::arch::x86_64::*;
+        let mut hits = Vec::new();
+        unsafe {
+            match self.kind {
+                0 => {
+                    let xs = &self.cols[0][start..end];
+                    let ys = &self.cols[1][start..end];
+                    let n = xs.len();
+                    let (qx1, qx2) = (_mm_set1_pd(q.x1), _mm_set1_pd(q.x2));
+                    let (qy1, qy2) = (_mm_set1_pd(q.y1), _mm_set1_pd(q.y2));
+                    let mut i = 0;
+                    while i + 2 <= n {
+                        let x = _mm_loadu_pd(xs.as_ptr().add(i));
+                        let y = _mm_loadu_pd(ys.as_ptr().add(i));
+                        let m = _mm_and_pd(
+                            _mm_and_pd(_mm_cmpge_pd(x, qx1), _mm_cmple_pd(x, qx2)),
+                            _mm_and_pd(_mm_cmpge_pd(y, qy1), _mm_cmple_pd(y, qy2)),
+                        );
+                        push_mask_hits(&mut hits, _mm_movemask_pd(m) as u32, start + i);
+                        i += 2;
+                    }
+                    for l in i..n {
+                        if (xs[l] >= q.x1) & (xs[l] <= q.x2) & (ys[l] >= q.y1) & (ys[l] <= q.y2) {
+                            hits.push(start + l);
+                        }
+                    }
+                }
+                _ => {
+                    let x1 = &self.cols[0][start..end];
+                    let y1 = &self.cols[1][start..end];
+                    let x2 = &self.cols[2][start..end];
+                    let y2 = &self.cols[3][start..end];
+                    let n = x1.len();
+                    let (qx1, qx2) = (_mm_set1_pd(q.x1), _mm_set1_pd(q.x2));
+                    let (qy1, qy2) = (_mm_set1_pd(q.y1), _mm_set1_pd(q.y2));
+                    let mut i = 0;
+                    while i + 2 <= n {
+                        let a = _mm_loadu_pd(x1.as_ptr().add(i));
+                        let b = _mm_loadu_pd(y1.as_ptr().add(i));
+                        let c = _mm_loadu_pd(x2.as_ptr().add(i));
+                        let d = _mm_loadu_pd(y2.as_ptr().add(i));
+                        let m = _mm_and_pd(
+                            _mm_and_pd(_mm_cmple_pd(a, qx2), _mm_cmpge_pd(c, qx1)),
+                            _mm_and_pd(_mm_cmple_pd(b, qy2), _mm_cmpge_pd(d, qy1)),
+                        );
+                        push_mask_hits(&mut hits, _mm_movemask_pd(m) as u32, start + i);
+                        i += 2;
+                    }
+                    for l in i..n {
+                        if (x1[l] <= q.x2) & (x2[l] >= q.x1) & (y1[l] <= q.y2) & (y2[l] >= q.y1) {
+                            hits.push(start + l);
+                        }
+                    }
+                }
+            }
+        }
+        hits
+    }
+
+    /// Reference scalar scan — the oracle the chunked/SIMD kernels are
+    /// property-tested against.
+    pub fn mbr_filter_scalar(&self, q: &Rect) -> Vec<usize> {
         let mut hits = Vec::new();
         match self.kind {
             0 => {
@@ -227,13 +514,40 @@ impl ColumnarBlock {
 
     /// All records, materialized (interchange back to the text world).
     pub fn records<R: Record>(&self) -> Vec<R> {
-        let views: Vec<&[f64]> = self.cols.iter().map(|c| &c[..]).collect();
-        (0..self.count).map(|i| R::from_cols(&views, i)).collect()
+        self.records_range(0, self.count)
     }
 
-    /// Resident size in bytes (cache accounting).
+    /// Records `start..end`, materialized — the unit of work for
+    /// parallel partition materialization (distributed join).
+    pub fn records_range<R: Record>(&self, start: usize, end: usize) -> Vec<R> {
+        debug_assert!(start <= end && end <= self.count);
+        let views: Vec<&[f64]> = self.cols.iter().map(|c| &c[..]).collect();
+        (start..end).map(|i| R::from_cols(&views, i)).collect()
+    }
+
+    /// Resident size in bytes (cache accounting). Mapped columns charge
+    /// only their handle metadata — the pages belong to the mapping, not
+    /// the cache budget.
     pub fn resident_bytes(&self) -> usize {
-        self.cols.iter().map(|c| c.len() * 8).sum::<usize>() + 64
+        self.cols
+            .iter()
+            .map(|c| match c {
+                ColSlice::Owned(col) => col.len() * 8,
+                ColSlice::Mapped { .. } => 32,
+            })
+            .sum::<usize>()
+            + 64
+    }
+}
+
+/// Appends `base + bit` for every set bit in `mask` — hit extraction
+/// shared by the chunked and explicit-SIMD kernels.
+#[inline]
+fn push_mask_hits(hits: &mut Vec<usize>, mut mask: u32, base: usize) {
+    while mask != 0 {
+        let l = mask.trailing_zeros() as usize;
+        hits.push(base + l);
+        mask &= mask - 1;
     }
 }
 
@@ -256,6 +570,18 @@ mod tests {
                 Rect::new(x, y, x + 2.0, y + 1.0)
             })
             .collect()
+    }
+
+    fn mapped(blob: &[u8]) -> Arc<Mmap> {
+        let path = std::env::temp_dir().join(format!(
+            "shcb-test-{}-{:p}",
+            std::process::id(),
+            blob.as_ptr()
+        ));
+        std::fs::write(&path, blob).unwrap();
+        let map = unsafe { Mmap::map(&std::fs::File::open(&path).unwrap()).unwrap() };
+        std::fs::remove_file(&path).unwrap();
+        Arc::new(map)
     }
 
     #[test]
@@ -302,6 +628,7 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(block.mbr_filter(&q), expected);
+        assert_eq!(block.mbr_filter_scalar(&q), expected);
 
         let pts = pts(500);
         let block = decode(&encode(&pts).unwrap()).unwrap();
@@ -312,6 +639,73 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(block.mbr_filter(&q), expected);
+        assert_eq!(block.mbr_filter_scalar(&q), expected);
+    }
+
+    #[test]
+    fn mbr_filter_range_concatenates_to_full_scan() {
+        let pts = pts(103); // odd length: exercises the scalar tail
+        let block = decode(&encode(&pts).unwrap()).unwrap();
+        let q = Rect::new(10.0, 0.0, 90.0, 30.0);
+        let full = block.mbr_filter(&q);
+        for split in [0, 1, 7, 52, 103] {
+            let mut parts = block.mbr_filter_range(&q, 0, split);
+            parts.extend(block.mbr_filter_range(&q, split, block.count));
+            assert_eq!(parts, full, "split at {split}");
+        }
+        assert_eq!(
+            block.records_range::<Point>(40, 60),
+            pts[40..60].to_vec(),
+            "records_range matches the slice"
+        );
+    }
+
+    #[test]
+    fn mapped_decode_equals_owned_decode() {
+        for blob in [
+            encode(&pts(321)).unwrap(),
+            encode(&rects(123)).unwrap(),
+            encode::<Point>(&[]).unwrap(),
+        ] {
+            let owned = decode(&blob).unwrap();
+            let mapped_block = decode_mapped(mapped(&blob), true).unwrap();
+            assert_eq!(owned.kind, mapped_block.kind);
+            assert_eq!(owned.count, mapped_block.count);
+            for (a, b) in owned.cols.iter().zip(&mapped_block.cols) {
+                assert_eq!(&a[..], &b[..]);
+            }
+            let q = Rect::new(3.0, 2.0, 60.0, 40.0);
+            assert_eq!(owned.mbr_filter(&q), mapped_block.mbr_filter(&q));
+        }
+    }
+
+    #[test]
+    fn mapped_decode_validates_and_rejects_non_finite() {
+        let mut blob = encode(&pts(10)).unwrap();
+        let hlen = header_len(2);
+        blob[hlen..hlen + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            decode_mapped(mapped(&blob), true),
+            Err(OpError::Corrupt(_))
+        ));
+        // validate=false trusts a prior validation of these exact bytes
+        // (the spill store's `validated` flag) and skips the pass.
+        assert!(decode_mapped(mapped(&blob), false).is_ok());
+    }
+
+    #[test]
+    fn mapped_decode_rejects_corrupt_headers() {
+        let blob = encode(&pts(10)).unwrap();
+        let mut bad = blob.clone();
+        bad[4] = 0x7f;
+        assert!(matches!(
+            decode_mapped(mapped(&bad), false),
+            Err(OpError::Corrupt(_))
+        ));
+        assert!(matches!(
+            decode_mapped(mapped(&blob[..blob.len() - 3]), false),
+            Err(OpError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -367,6 +761,17 @@ mod tests {
     fn cloned_blocks_share_columns() {
         let block = decode(&encode(&pts(32)).unwrap()).unwrap();
         let clone = block.clone();
-        assert!(Arc::ptr_eq(&block.cols[0], &clone.cols[0]));
+        assert!(std::ptr::eq(block.cols[0].as_ptr(), clone.cols[0].as_ptr()));
+    }
+
+    #[test]
+    fn mapped_blocks_charge_only_metadata() {
+        let blob = encode(&pts(10_000)).unwrap();
+        let owned = decode(&blob).unwrap();
+        let mapped_block = decode_mapped(mapped(&blob), true).unwrap();
+        assert!(mapped_block.is_mapped());
+        assert!(!owned.is_mapped());
+        assert!(owned.resident_bytes() > 10_000 * 8);
+        assert!(mapped_block.resident_bytes() < 256);
     }
 }

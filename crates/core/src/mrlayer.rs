@@ -182,7 +182,7 @@ impl SpatialRecordReader {
             }
         }
         let epoch = dfs.cache().epoch();
-        let block = colblock::decode(data)?;
+        let block = decode_binary(dfs, path, data)?;
         let tree = load_sidecar(dfs, path, block.count)
             .unwrap_or_else(|| LocalRTree::build((0..block.count).map(|i| block.mbr(i)).collect()));
         let bytes = (block.resident_bytes() + tree.len() * 32) as u64;
@@ -246,10 +246,12 @@ impl SpatialRecordReader {
 
     /// Opens a partition for a one-shot linear scan: no cache, no tree —
     /// the ablation path. Binary blocks keep their columnar layout so
-    /// [`Partition::scan_filter`] still runs the zero-copy loop.
-    pub fn open_scan<R: Record>(split_path: &str, data: &[u8]) -> Partition<R> {
+    /// [`Partition::scan_filter`] still runs the zero-copy loop, and
+    /// with `SET mmap on` they decode in place over the DFS spill
+    /// mapping instead of copying columns out of `data`.
+    pub fn open_scan<R: Record>(dfs: &Dfs, split_path: &str, data: &[u8]) -> Partition<R> {
         if colblock::is_binary(data) {
-            match colblock::decode(data) {
+            match decode_binary(dfs, split_path, data) {
                 Ok(block) => Partition::Binary(Arc::new(BinaryPartition {
                     tree: LocalRTree::build(Vec::new()),
                     block,
@@ -261,6 +263,25 @@ impl SpatialRecordReader {
             Partition::Text(Arc::new((records, LocalRTree::build(Vec::new()))))
         }
     }
+}
+
+/// Decodes an `SHCB` partition, preferring the zero-copy path: when the
+/// DFS hands out an mmap-backed spill of the file (gated by the
+/// `mmap_scans` knob), the columns are reinterpreted in place; the
+/// coordinate-finiteness pass runs only the first time a given spill is
+/// seen and is skipped on later scans of the same generation. Any
+/// mapping, alignment, or endianness failure falls back to the owned
+/// decode of `data` — byte-identical results either way, and corrupt
+/// input is the same [`OpError::Corrupt`] on both paths.
+fn decode_binary(dfs: &Dfs, path: &str, data: &[u8]) -> Result<ColumnarBlock, OpError> {
+    if let Some(spill) = dfs.map_file_bytes(path, data) {
+        let block = colblock::decode_mapped(spill.map, !spill.validated)?;
+        if !spill.validated {
+            dfs.mark_spill_validated(path);
+        }
+        return Ok(block);
+    }
+    colblock::decode(data)
 }
 
 /// Loads the persisted `_lidx` sidecar of `part_path`, sniffing binary
@@ -370,6 +391,44 @@ impl<R: Record> Partition<R> {
                     .collect()
             }
             Partition::Binary(p) => p.block.mbr_filter(q),
+        }
+    }
+
+    /// [`Partition::scan_filter`] spread across the cluster slot pool:
+    /// binary partitions above the [`crate::parscan::MIN_CHUNK`]
+    /// threshold scan their coordinate columns in parallel chunks over
+    /// opportunistically leased extra slots; text partitions and small
+    /// blocks scan serially. Returns the (ascending, identical to the
+    /// serial scan) hit indices plus the number of extra slots used.
+    pub fn scan_filter_par(&self, dfs: &Dfs, q: &Rect) -> (Vec<usize>, usize) {
+        match self {
+            Partition::Binary(p) if p.block.count >= crate::parscan::MIN_CHUNK => {
+                crate::parscan::parallel_chunks(
+                    dfs.slots(),
+                    p.block.count,
+                    crate::parscan::MIN_CHUNK,
+                    |start, end| p.block.mbr_filter_range(q, start, end),
+                )
+            }
+            _ => (self.scan_filter(q), 0),
+        }
+    }
+
+    /// [`Partition::records`][Self::record] for the whole partition,
+    /// materialized across the slot pool (distributed join's
+    /// materialization step). Identical to a serial materialization.
+    pub fn records_par(&self, dfs: &Dfs) -> (Vec<R>, usize) {
+        match self {
+            Partition::Binary(p) if p.block.count >= crate::parscan::MIN_CHUNK => {
+                crate::parscan::parallel_chunks(
+                    dfs.slots(),
+                    p.block.count,
+                    crate::parscan::MIN_CHUNK,
+                    |start, end| p.block.records_range::<R>(start, end),
+                )
+            }
+            Partition::Binary(p) => (p.block.records::<R>(), 0),
+            Partition::Text(p) => (p.0.clone(), 0),
         }
     }
 }

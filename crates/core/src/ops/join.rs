@@ -159,22 +159,32 @@ impl Mapper for DjMapper {
             ctx.inc(if hit { cache_hits } else { cache_misses }, 1);
         }
         // The plane sweep wants rect slices; binary partitions
-        // materialize theirs from the coordinate columns.
+        // materialize theirs from the coordinate columns, spread across
+        // any idle worker slots for big partitions.
         let (left_owned, right_owned);
+        let mut extra_slots = 0;
         let left: &[Rect] = match &lpart {
             Partition::Text(p) => &p.0,
-            Partition::Binary(p) => {
-                left_owned = p.block.records::<Rect>();
+            Partition::Binary(_) => {
+                let (recs, extra) = lpart.records_par(&self.dfs);
+                extra_slots += extra;
+                left_owned = recs;
                 &left_owned
             }
         };
         let right: &[Rect] = match &rpart {
             Partition::Text(p) => &p.0,
-            Partition::Binary(p) => {
-                right_owned = p.block.records::<Rect>();
+            Partition::Binary(_) => {
+                let (recs, extra) = rpart.records_par(&self.dfs);
+                extra_slots += extra;
+                right_owned = recs;
                 &right_owned
             }
         };
+        if extra_slots > 0 {
+            let par = ctx.register_counter("scan.parallel.extra_slots");
+            ctx.inc(par, extra_slots as u64);
+        }
         // aux carries: cellA(4) cellB(4) uniA(4) uniB(4)
         let aux: Vec<f64> = split
             .aux

@@ -1,0 +1,144 @@
+//! Intra-task parallel partition scans over the cluster slot pool.
+//!
+//! One big range or join task used to serialize its whole partition on
+//! one core even when the rest of the cluster sat idle. This helper lets
+//! a running task *opportunistically* widen: it already holds one slot,
+//! and it tries to lease extra slots with the non-blocking
+//! [`SlotPool::try_acquire`] — blocking would deadlock once every task
+//! waited on every other task's slot. Zero extra slots means a plain
+//! serial scan; the result is identical either way because chunks are
+//! contiguous index ranges concatenated in order.
+
+use std::sync::Arc;
+
+use sh_dfs::SlotPool;
+
+/// Records below this count are scanned serially — thread spawn and
+/// slot-lease overhead beats the win on small partitions.
+pub const MIN_CHUNK: usize = 8192;
+
+/// Runs `f(start, end)` over contiguous chunks of `0..n`, in parallel
+/// across opportunistically leased extra slots, and concatenates the
+/// chunk results in index order (deterministic: equals `f(0, n)` for any
+/// `f` that is a per-index map/filter).
+///
+/// Returns the concatenated results and the number of extra slots used
+/// (0 = the scan ran serially on the caller's own slot).
+pub fn parallel_chunks<T, F>(
+    slots: &Arc<SlotPool>,
+    n: usize,
+    min_chunk: usize,
+    f: F,
+) -> (Vec<T>, usize)
+where
+    T: Send,
+    F: Fn(usize, usize) -> Vec<T> + Sync,
+{
+    let min_chunk = min_chunk.max(1);
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // The caller's own slot covers one chunk; extras are best-effort.
+    let max_extra = (n / min_chunk).saturating_sub(1);
+    let mut leases = Vec::new();
+    while leases.len() < max_extra {
+        match slots.try_acquire() {
+            Some(lease) => leases.push(lease),
+            None => break,
+        }
+    }
+    let extra = leases.len();
+    if extra == 0 {
+        return (f(0, n), 0);
+    }
+    let workers = extra + 1;
+    let chunk = n.div_ceil(workers);
+    let mut results: Vec<Vec<T>> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                let start = (w * chunk).min(n);
+                let end = ((w + 1) * chunk).min(n);
+                scope.spawn(move || f(start, end))
+            })
+            .collect();
+        results.push(f(0, chunk.min(n)));
+        for h in handles {
+            match h.join() {
+                Ok(v) => results.push(v),
+                // Re-raise worker panics (e.g. fail_corrupt payloads) on
+                // the task thread so the executor's failure protocol sees
+                // them unchanged.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    drop(leases);
+    sh_trace::global().observe("scan.parallel.extra_slots", extra as u64);
+    let mut out = Vec::with_capacity(results.iter().map(Vec::len).sum());
+    for r in results {
+        out.extend(r);
+    }
+    (out, extra)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(total: usize) -> Arc<SlotPool> {
+        Arc::new(SlotPool::new(total))
+    }
+
+    fn evens(start: usize, end: usize) -> Vec<usize> {
+        (start..end).filter(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn matches_serial_result_for_any_slot_budget() {
+        let expected = evens(0, 100_000);
+        for slots in [1, 2, 3, 8] {
+            // Model real usage: the scanning task already holds its slot.
+            let p = pool(slots);
+            let _own = p.acquire();
+            let (got, extra) = parallel_chunks(&p, 100_000, 1000, evens);
+            assert_eq!(got, expected, "{slots} slots");
+            assert!(extra < slots, "extra slots stay under the pool total");
+        }
+    }
+
+    #[test]
+    fn small_inputs_stay_serial() {
+        let p = pool(8);
+        let (got, extra) = parallel_chunks(&p, 100, MIN_CHUNK, evens);
+        assert_eq!(got, evens(0, 100));
+        assert_eq!(extra, 0, "below min_chunk nothing is leased");
+        assert_eq!(p.in_use(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (got, extra) = parallel_chunks(&pool(4), 0, 1, evens);
+        assert!(got.is_empty());
+        assert_eq!(extra, 0);
+    }
+
+    #[test]
+    fn exhausted_pool_degrades_to_serial() {
+        let p = pool(1);
+        let _held = p.acquire();
+        let (got, extra) = parallel_chunks(&p, 50_000, 1000, evens);
+        assert_eq!(got, evens(0, 50_000));
+        assert_eq!(extra, 0, "no free slots → serial, never blocks");
+    }
+
+    #[test]
+    fn leases_are_returned() {
+        let p = pool(4);
+        let (_, extra) = parallel_chunks(&p, 100_000, 1000, evens);
+        assert!(extra > 0, "extra slots expected with a free pool");
+        assert_eq!(p.in_use(), 0, "all leases returned");
+        assert!(p.peak() <= 4);
+    }
+}

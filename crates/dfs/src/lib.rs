@@ -34,6 +34,7 @@ mod fault;
 mod metrics;
 mod namespace;
 mod slots;
+mod spill;
 mod writer;
 
 pub use block::{BlockData, BlockId, BlockInfo};
@@ -43,4 +44,5 @@ pub use fault::{FaultAction, FaultPlan, FtOptions};
 pub use metrics::DfsMetrics;
 pub use namespace::{Dfs, DfsError, FileStat};
 pub use slots::{SlotLease, SlotPool};
+pub use spill::{SpillMap, SpillStore};
 pub use writer::FileWriter;

@@ -14,6 +14,7 @@ use crate::config::{ClusterConfig, NodeId};
 use crate::fault::FtOptions;
 use crate::metrics::DfsMetrics;
 use crate::slots::SlotPool;
+use crate::spill::{SpillMap, SpillStore};
 use crate::writer::FileWriter;
 
 /// Errors surfaced by the DFS API.
@@ -59,6 +60,9 @@ pub struct FileStat {
 struct Inner {
     files: BTreeMap<String, FileMeta>,
     blocks: BTreeMap<BlockId, BlockData>,
+    // Per-path content generation: bumped on create/delete so the spill
+    // store can never serve a mapping of an overwritten file's old bytes.
+    generations: BTreeMap<String, u64>,
     next_block: u64,
     next_writer_node: usize,
     alive: Vec<bool>,
@@ -79,6 +83,7 @@ pub struct Dfs {
     ft: Arc<Mutex<FtOptions>>,
     cache: Arc<BlockCache>,
     slots: Arc<SlotPool>,
+    spill: Arc<SpillStore>,
 }
 
 impl Dfs {
@@ -93,6 +98,7 @@ impl Dfs {
             inner: Arc::new(Mutex::new(Inner {
                 files: BTreeMap::new(),
                 blocks: BTreeMap::new(),
+                generations: BTreeMap::new(),
                 next_block: 0,
                 next_writer_node: 0,
                 alive,
@@ -102,6 +108,7 @@ impl Dfs {
             ft: Arc::new(Mutex::new(ft)),
             cache: Arc::new(BlockCache::default()),
             slots: Arc::new(SlotPool::new(slots)),
+            spill: Arc::new(SpillStore::default()),
         }
     }
 
@@ -156,12 +163,15 @@ impl Dfs {
             return Err(DfsError::AlreadyExists(path.to_string()));
         }
         inner.files.insert(path.to_string(), FileMeta::default());
+        *inner.generations.entry(path.to_string()).or_insert(0) += 1;
         // Round-robin "writing node" stands in for the client location.
         let node = inner.next_writer_node % self.config.num_nodes;
         inner.next_writer_node += 1;
         drop(inner);
-        // A fresh file under an old path must not serve stale parses.
+        // A fresh file under an old path must not serve stale parses or
+        // stale spilled mappings.
         self.cache.invalidate(path);
+        self.spill.remove(path);
         Ok(FileWriter::new(self.clone(), path.to_string(), node))
     }
 
@@ -172,9 +182,11 @@ impl Dfs {
             for b in meta.blocks {
                 inner.blocks.remove(&b);
             }
+            *inner.generations.entry(path.to_string()).or_insert(0) += 1;
         }
         drop(inner);
         self.cache.invalidate(path);
+        self.spill.remove(path);
     }
 
     /// True when `path` exists.
@@ -270,6 +282,42 @@ impl Dfs {
             out.extend_from_slice(&bytes);
         }
         Ok(out)
+    }
+
+    /// Current content generation of `path` (0 if never created). Bumped
+    /// by `create` and `delete`; constant across node kills and
+    /// re-replication, which move replicas but never change bytes.
+    pub fn file_generation(&self, path: &str) -> u64 {
+        self.inner
+            .lock()
+            .generations
+            .get(path)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Zero-copy view of a file's bytes: spills `data` (the file's
+    /// concatenated, availability-checked block payloads) to the process
+    /// spill store and returns a page-aligned mapping of it, reusing the
+    /// cached mapping while the path's generation is unchanged.
+    ///
+    /// Returns `None` when the mmap scan path is disabled
+    /// (`FtOptions::mmap_scans`, the Pigeon `SET mmap` knob) or when
+    /// spilling fails for any I/O reason — callers fall back to the owned
+    /// decode path, which is always correct.
+    pub fn map_file_bytes(&self, path: &str, data: &[u8]) -> Option<SpillMap> {
+        if !self.ft.lock().mmap_scans {
+            return None;
+        }
+        let generation = self.file_generation(path);
+        self.spill.map_path(path, generation, data).ok()
+    }
+
+    /// Records that content validation passed against the mapping
+    /// currently spilled for `path`, so repeat cold scans can skip it.
+    pub fn mark_spill_validated(&self, path: &str) {
+        let generation = self.file_generation(path);
+        self.spill.mark_validated(path, generation);
     }
 
     /// Writes a complete string as a new file (driver-side convenience).
@@ -635,6 +683,32 @@ mod tests {
         put(5);
         fs.revive_node(0);
         assert_eq!(get(), None, "revive_node must flush the cache");
+    }
+
+    #[test]
+    fn map_file_bytes_is_gated_and_generation_checked() {
+        let fs = dfs();
+        fs.write_string("/f", "1 2\n").unwrap();
+        let data = fs.read_bytes("/f").unwrap();
+        assert!(fs.map_file_bytes("/f", &data).is_none(), "off by default");
+        fs.update_ft_options(|ft| ft.mmap_scans = true);
+        let m1 = fs.map_file_bytes("/f", &data).unwrap();
+        assert_eq!(&m1.map[..], data.as_slice());
+        assert!(!m1.validated);
+        fs.mark_spill_validated("/f");
+        assert!(fs.map_file_bytes("/f", &data).unwrap().validated);
+        // Overwrite under the same path: generation bumps, so the new
+        // bytes get a fresh, unvalidated mapping while the old mapping
+        // stays readable for anyone still holding it.
+        let gen_before = fs.file_generation("/f");
+        fs.delete("/f");
+        fs.write_string("/f", "9 9\n").unwrap();
+        assert!(fs.file_generation("/f") > gen_before);
+        let data2 = fs.read_bytes("/f").unwrap();
+        let m2 = fs.map_file_bytes("/f", &data2).unwrap();
+        assert!(!m2.validated);
+        assert_eq!(&m2.map[..], data2.as_slice());
+        assert_eq!(&m1.map[..], data.as_slice(), "old mapping still valid");
     }
 
     #[test]

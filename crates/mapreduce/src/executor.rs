@@ -1033,15 +1033,30 @@ where
     // Splits are raw bytes end to end; `Mapper::map_bytes` decides
     // whether they are text (default: UTF-8 decode, corrupt-input
     // failure on binary garbage) or a binary block format.
-    let mut data = Vec::with_capacity(split.len() as usize);
-    for b in &split.blocks {
-        let (bytes, was_local) = job.dfs.read_block(b.id, node)?;
+    // Single-block splits (the common case: one partition per file,
+    // file under the DFS block size) borrow the block's shared payload
+    // instead of copying it into a fresh buffer.
+    let mut single: Option<bytes::Bytes> = None;
+    let mut data = Vec::new();
+    if split.blocks.len() == 1 {
+        let (bytes, was_local) = job.dfs.read_block(split.blocks[0].id, node)?;
         if was_local {
             local += bytes.len() as u64;
         } else {
             remote += bytes.len() as u64;
         }
-        data.extend_from_slice(&bytes);
+        single = Some(bytes);
+    } else {
+        data.reserve(split.len() as usize);
+        for b in &split.blocks {
+            let (bytes, was_local) = job.dfs.read_block(b.id, node)?;
+            if was_local {
+                local += bytes.len() as u64;
+            } else {
+                remote += bytes.len() as u64;
+            }
+            data.extend_from_slice(&bytes);
+        }
     }
     let num_reducers = if job.reducer.is_some() {
         job.num_reducers
@@ -1050,7 +1065,8 @@ where
     };
     let mut ctx = MapContext::new(num_reducers);
     let t0 = Instant::now();
-    job.mapper.map_bytes(split, &data, &mut ctx);
+    job.mapper
+        .map_bytes(split, single.as_deref().unwrap_or(&data), &mut ctx);
     let counters = ctx.take_counters();
     let mut buckets = ctx.buckets;
     if let Some(combiner) = &job.combiner {

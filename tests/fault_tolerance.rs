@@ -392,41 +392,84 @@ fn text_and_binary_indexes_answer_identically_under_chaos() {
             ft.node_blacklist_threshold = 1;
             ft.fault_plan = FaultPlan::none().kill_node(0).fail_task(1, 0);
         });
-        dfs.cache().clear();
 
+        // Every (format, scan-path) combination under the same chaos
+        // plan must produce byte-identical output: text vs. binary, and
+        // within binary the owned decode vs. the mmap zero-copy path
+        // (which spills block bytes to disk and reinterprets them in
+        // place — node kills and re-replication move block *placement*,
+        // never content, so the mapping stays valid).
         let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
-        let range_run = |file: &spatialhadoop::core::SpatialFile, out: &str| {
-            let r = range::range_spatial::<Point>(&dfs, file, &query, out).unwrap();
-            let lines: Vec<String> = r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
-            let mut raw = String::new();
-            for part in dfs.list(&format!("{out}/part-")) {
-                raw.push_str(&dfs.read_to_string(&part).unwrap());
-            }
-            (lines, raw)
-        };
-        let (rt_lines, rt_raw) = range_run(&tp, "/out/rt");
-        let (rb_lines, rb_raw) = range_run(&bp, "/out/rb");
-        assert!(!rt_lines.is_empty(), "iteration {iter}: empty range result");
-        assert_eq!(rt_lines, rb_lines, "iteration {iter}: range diverged");
-        assert_eq!(
-            rt_raw, rb_raw,
-            "iteration {iter}: range bytes not identical"
-        );
+        let mut range_base: Option<(Vec<String>, String)> = None;
+        let mut join_base: Option<(Vec<(Rect, Rect)>, String)> = None;
+        for mmap in [false, true] {
+            dfs.update_ft_options(|ft| ft.mmap_scans = mmap);
+            dfs.cache().clear();
+            let m = mmap as usize;
 
-        let dj_run = |a: &spatialhadoop::core::SpatialFile,
-                      b: &spatialhadoop::core::SpatialFile,
-                      out: &str| {
-            let r = join::distributed_join(&dfs, a, b, out).unwrap();
-            let mut raw = String::new();
-            for part in dfs.list(&format!("{out}/part-")) {
-                raw.push_str(&dfs.read_to_string(&part).unwrap());
+            let range_run = |file: &spatialhadoop::core::SpatialFile, out: &str| {
+                let r = range::range_spatial::<Point>(&dfs, file, &query, out).unwrap();
+                let lines: Vec<String> =
+                    r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+                let mut raw = String::new();
+                for part in dfs.list(&format!("{out}/part-")) {
+                    raw.push_str(&dfs.read_to_string(&part).unwrap());
+                }
+                (lines, raw)
+            };
+            let (rt_lines, rt_raw) = range_run(&tp, &format!("/out/rt{m}"));
+            let (rb_lines, rb_raw) = range_run(&bp, &format!("/out/rb{m}"));
+            assert!(!rt_lines.is_empty(), "iteration {iter}: empty range result");
+            assert_eq!(
+                rt_lines, rb_lines,
+                "iteration {iter} mmap={mmap}: range diverged"
+            );
+            assert_eq!(
+                rt_raw, rb_raw,
+                "iteration {iter} mmap={mmap}: range bytes not identical"
+            );
+            match &range_base {
+                None => range_base = Some((rt_lines, rt_raw)),
+                Some((lines0, raw0)) => {
+                    assert_eq!(
+                        lines0, &rt_lines,
+                        "iteration {iter}: mmap range diverged from owned"
+                    );
+                    assert_eq!(
+                        raw0, &rt_raw,
+                        "iteration {iter}: mmap range bytes differ from owned"
+                    );
+                }
             }
-            (r.value, raw)
-        };
-        let (jt, jt_raw) = dj_run(&ta, &tb, "/out/jt");
-        let (jb, jb_raw) = dj_run(&ba, &bb, "/out/jb");
-        assert!(!jt.is_empty(), "iteration {iter}: empty join result");
-        assert_eq!(jt, jb, "iteration {iter}: join diverged");
-        assert_eq!(jt_raw, jb_raw, "iteration {iter}: join bytes not identical");
+
+            let dj_run = |a: &spatialhadoop::core::SpatialFile,
+                          b: &spatialhadoop::core::SpatialFile,
+                          out: &str| {
+                let r = join::distributed_join(&dfs, a, b, out).unwrap();
+                let mut raw = String::new();
+                for part in dfs.list(&format!("{out}/part-")) {
+                    raw.push_str(&dfs.read_to_string(&part).unwrap());
+                }
+                (r.value, raw)
+            };
+            let (jt, jt_raw) = dj_run(&ta, &tb, &format!("/out/jt{m}"));
+            let (jb, jb_raw) = dj_run(&ba, &bb, &format!("/out/jb{m}"));
+            assert!(!jt.is_empty(), "iteration {iter}: empty join result");
+            assert_eq!(jt, jb, "iteration {iter} mmap={mmap}: join diverged");
+            assert_eq!(
+                jt_raw, jb_raw,
+                "iteration {iter} mmap={mmap}: join bytes not identical"
+            );
+            match &join_base {
+                None => join_base = Some((jt, jt_raw)),
+                Some((jt0, raw0)) => {
+                    assert_eq!(jt0, &jt, "iteration {iter}: mmap join diverged from owned");
+                    assert_eq!(
+                        raw0, &jt_raw,
+                        "iteration {iter}: mmap join bytes differ from owned"
+                    );
+                }
+            }
+        }
     }
 }

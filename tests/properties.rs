@@ -179,6 +179,38 @@ proptest! {
     }
 
     #[test]
+    fn chunked_mbr_filter_matches_scalar_oracle(
+        pts in prop::collection::vec(arb_point(), 0..300),
+        rects in prop::collection::vec(arb_rect(), 0..300),
+        q in arb_rect(),
+    ) {
+        // The chunked (or explicit-SIMD) kernel behind `mbr_filter` must
+        // agree with the short-circuiting scalar reference on every
+        // block: empty blocks, odd-length tails (lengths 0..300 cover
+        // every remainder mod the 8-wide lanes), and boundary-touching
+        // queries whose edges pass exactly through record coordinates.
+        use spatialhadoop::core::colblock;
+        let pblock = colblock::decode(&colblock::encode(&pts).unwrap()).unwrap();
+        prop_assert_eq!(pblock.mbr_filter(&q), pblock.mbr_filter_scalar(&q));
+        let rblock = colblock::decode(&colblock::encode(&rects).unwrap()).unwrap();
+        prop_assert_eq!(rblock.mbr_filter(&q), rblock.mbr_filter_scalar(&q));
+
+        // On-edge semantics: a query rect built from two records'
+        // coordinates puts those records exactly on the boundary, where
+        // a >= / <= vs. > / < mismatch between kernels would show up.
+        if pts.len() >= 2 {
+            let (a, b) = (&pts[0], &pts[pts.len() / 2]);
+            let edge = Rect::new(
+                a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y),
+            );
+            prop_assert_eq!(pblock.mbr_filter(&edge), pblock.mbr_filter_scalar(&edge));
+        }
+        if let Some(r) = rects.first() {
+            prop_assert_eq!(rblock.mbr_filter(r), rblock.mbr_filter_scalar(r));
+        }
+    }
+
+    #[test]
     fn record_lines_roundtrip(pts in arb_points(30), rects in prop::collection::vec(arb_rect(), 1..30)) {
         for p in &pts {
             prop_assert_eq!(&Point::parse_line(&p.to_line()).unwrap(), p);

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `memmap2` crate.
+//!
+//! Implements the subset this workspace uses: [`Mmap`], a read-only,
+//! shared memory mapping of a whole file. On unix targets the mapping is a
+//! real `mmap(2)` call (page-aligned base, pages stay valid after the file
+//! is unlinked, which the DFS spill store relies on). Elsewhere — and for
+//! empty files, which POSIX mmap rejects — the "mapping" degrades to an
+//! owned in-memory copy with the same API; downstream alignment checks
+//! treat both uniformly.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+enum Backing {
+    #[cfg(unix)]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Box<[u8]>),
+}
+
+/// Read-only memory mapping of a file.
+pub struct Mmap {
+    backing: Backing,
+}
+
+// The mapping is read-only for its whole lifetime: shared references from
+// any thread are fine, and unmap happens exactly once in Drop.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the underlying file is not truncated or
+    /// mutated through other handles while the mapping is alive (the DFS
+    /// spill store guarantees this by making spill files immutable per
+    /// generation).
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        {
+            if len > 0 {
+                use std::os::unix::io::AsRawFd;
+                let ptr = sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                );
+                if ptr as isize == -1 {
+                    return Err(io::Error::last_os_error());
+                }
+                return Ok(Mmap {
+                    backing: Backing::Mapped {
+                        ptr: ptr as *const u8,
+                        len,
+                    },
+                });
+            }
+        }
+        Mmap::map_owned(file, len)
+    }
+
+    fn map_owned(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut f = file.try_clone()?;
+        {
+            use std::io::Seek;
+            f.seek(io::SeekFrom::Start(0))?;
+        }
+        f.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            backing: Backing::Owned(buf.into_boxed_slice()),
+        })
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+            Backing::Owned(buf) => buf,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            unsafe {
+                sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(contents: &[u8]) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!(
+            "memmap2-test-{}-{:p}",
+            std::process::id(),
+            &contents
+        ));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        f.sync_all().unwrap();
+        let reader = File::open(&path).unwrap();
+        (path, reader)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let (path, f) = temp_file(b"hello mapping");
+        let map = unsafe { Mmap::map(&f).unwrap() };
+        assert_eq!(&map[..], b"hello mapping");
+        drop(map);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let (path, f) = temp_file(b"");
+        let map = unsafe { Mmap::map(&f).unwrap() };
+        assert!(map.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn mapping_survives_unlink() {
+        let (path, f) = temp_file(b"persist after unlink");
+        let map = unsafe { Mmap::map(&f).unwrap() };
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(&map[..], b"persist after unlink");
+    }
+
+    #[test]
+    fn base_is_eight_byte_aligned_for_nonempty_files() {
+        let (path, f) = temp_file(&[0u8; 64]);
+        let map = unsafe { Mmap::map(&f).unwrap() };
+        assert_eq!(map.as_ptr() as usize % 8, 0);
+        std::fs::remove_file(path).unwrap();
+    }
+}
