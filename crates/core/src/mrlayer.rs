@@ -585,7 +585,7 @@ mod tests {
     fn write_bytes(dfs: &Dfs, path: &str, data: &[u8]) {
         let mut w = dfs.create(path).unwrap();
         w.write_chunk(data);
-        w.close();
+        w.close().unwrap();
     }
 
     #[test]

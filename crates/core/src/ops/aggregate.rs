@@ -199,7 +199,7 @@ mod tests {
     fn empty_file_stats() {
         let dfs = Dfs::new(ClusterConfig::small_for_tests());
         let w = dfs.create("/empty").unwrap();
-        w.close();
+        w.close().unwrap();
         // Zero splits -> reducer never gets pairs -> no output line.
         assert!(stats_hadoop::<Point>(&dfs, "/empty", "/out").is_err());
     }

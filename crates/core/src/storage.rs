@@ -79,7 +79,7 @@ pub fn upload<R: Record>(dfs: &Dfs, path: &str, records: &[R]) -> Result<(), Dfs
         r.write_line(&mut line);
         w.write_line(&line);
     }
-    w.close();
+    w.close()?;
     Ok(())
 }
 
@@ -625,7 +625,7 @@ mod tests {
             w.write_line("1 2");
             w.write_line("3 banana");
             w.write_line("5 6");
-            w.close();
+            w.close().unwrap();
             let err = build_index_fmt::<Point>(&dfs, "/heap", "/idx", PartitionKind::Grid, format)
                 .unwrap_err();
             match err {
@@ -639,7 +639,7 @@ mod tests {
     fn empty_heap_is_an_error() {
         let dfs = Dfs::new(ClusterConfig::small_for_tests());
         let w = dfs.create("/empty").unwrap();
-        w.close();
+        w.close().unwrap();
         assert!(matches!(
             build_index::<Point>(&dfs, "/empty", "/idx", PartitionKind::Grid),
             Err(OpError::Unsupported(_))

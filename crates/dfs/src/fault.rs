@@ -18,6 +18,24 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
+/// How an injected silent corruption mangles a replica's bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CorruptKind {
+    /// Flip one bit in the middle of each block — bit rot.
+    Flip,
+    /// Cut each block to half its length — a torn write.
+    Truncate,
+}
+
+impl fmt::Display for CorruptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptKind::Flip => write!(f, "flip"),
+            CorruptKind::Truncate => write!(f, "truncate"),
+        }
+    }
+}
+
 /// One injected fault, applied by the job executor.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultAction {
@@ -32,6 +50,14 @@ pub enum FaultAction {
     /// making it a straggler. Later attempts (the speculative backup)
     /// run at full speed — the delay models a slow node, not slow data.
     DelayTask { task: usize, millis: u64 },
+    /// Silently corrupt replica ordinal `replica` of every block of
+    /// `path` at the map-wave boundary. Unlike a node kill nothing is
+    /// announced — only the block checksums can catch it.
+    CorruptReplica {
+        path: String,
+        replica: usize,
+        kind: CorruptKind,
+    },
 }
 
 /// A reproducible schedule of injected faults for one job.
@@ -67,6 +93,16 @@ impl FaultPlan {
     /// Adds a first-attempt straggler delay (builder style).
     pub fn delay_task(mut self, task: usize, millis: u64) -> FaultPlan {
         self.actions.push(FaultAction::DelayTask { task, millis });
+        self
+    }
+
+    /// Adds a silent replica corruption (builder style).
+    pub fn corrupt_replica(mut self, path: &str, replica: usize, kind: CorruptKind) -> FaultPlan {
+        self.actions.push(FaultAction::CorruptReplica {
+            path: path.to_string(),
+            replica,
+            kind,
+        });
         self
     }
 
@@ -116,10 +152,27 @@ impl FaultPlan {
             .collect()
     }
 
+    /// Silent replica corruptions the plan applies at the map-wave
+    /// boundary, as `(path, replica ordinal, kind)`.
+    pub fn corruptions(&self) -> Vec<(String, usize, CorruptKind)> {
+        self.actions
+            .iter()
+            .filter_map(|a| match a {
+                FaultAction::CorruptReplica {
+                    path,
+                    replica,
+                    kind,
+                } => Some((path.clone(), *replica, *kind)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Parses the compact text form used by Pigeon's `SET fault_plan`:
     /// semicolon-separated actions `fail:<task>@<attempt>`,
-    /// `kill:<node>`, `delay:<task>x<millis>`. Empty string or `none`
-    /// clears the plan.
+    /// `kill:<node>`, `delay:<task>x<millis>`,
+    /// `flip:<path>@<replica>`, `truncate:<path>@<replica>`. Empty
+    /// string or `none` clears the plan.
     pub fn parse(text: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::default();
         let text = text.trim();
@@ -149,6 +202,17 @@ impl FaultPlan {
                         .ok_or_else(|| format!("delay action needs <task>x<millis>: {part}"))?;
                     plan = plan.delay_task(num(t)?, num(ms)? as u64);
                 }
+                k @ ("flip" | "truncate") => {
+                    let (path, r) = rest
+                        .rsplit_once('@')
+                        .ok_or_else(|| format!("{k} action needs <path>@<replica>: {part}"))?;
+                    let kind = if k == "flip" {
+                        CorruptKind::Flip
+                    } else {
+                        CorruptKind::Truncate
+                    };
+                    plan = plan.corrupt_replica(path.trim(), num(r)?, kind);
+                }
                 other => return Err(format!("unknown fault action kind '{other}'")),
             }
         }
@@ -171,6 +235,11 @@ impl fmt::Display for FaultPlan {
                 FaultAction::FailTask { task, attempt } => write!(f, "fail:{task}@{attempt}")?,
                 FaultAction::KillNode { node } => write!(f, "kill:{node}")?,
                 FaultAction::DelayTask { task, millis } => write!(f, "delay:{task}x{millis}")?,
+                FaultAction::CorruptReplica {
+                    path,
+                    replica,
+                    kind,
+                } => write!(f, "{kind}:{path}@{replica}")?,
             }
         }
         Ok(())
@@ -232,13 +301,31 @@ mod tests {
         let plan = FaultPlan::none()
             .fail_task(3, 1)
             .kill_node(2)
-            .delay_task(0, 100);
+            .delay_task(0, 100)
+            .corrupt_replica("/idx/p/part-00000", 1, CorruptKind::Flip)
+            .corrupt_replica("/idx/p/part-00001", 0, CorruptKind::Truncate);
         let text = plan.to_string();
-        assert_eq!(text, "fail:3@1;kill:2;delay:0x100");
+        assert_eq!(
+            text,
+            "fail:3@1;kill:2;delay:0x100;flip:/idx/p/part-00000@1;\
+             truncate:/idx/p/part-00001@0"
+        );
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
         assert_eq!(FaultPlan::parse("none").unwrap(), FaultPlan::none());
         assert_eq!(FaultPlan::parse("  ").unwrap(), FaultPlan::none());
         assert_eq!(FaultPlan::none().to_string(), "none");
+    }
+
+    #[test]
+    fn corruption_queries() {
+        let plan = FaultPlan::none()
+            .kill_node(1)
+            .corrupt_replica("/f", 1, CorruptKind::Flip);
+        assert_eq!(
+            plan.corruptions(),
+            vec![("/f".to_string(), 1, CorruptKind::Flip)]
+        );
+        assert_eq!(plan.nodes_to_kill(), vec![1]);
     }
 
     #[test]
@@ -247,5 +334,7 @@ mod tests {
         assert!(FaultPlan::parse("delay:1").is_err());
         assert!(FaultPlan::parse("explode:1").is_err());
         assert!(FaultPlan::parse("kill:x").is_err());
+        assert!(FaultPlan::parse("flip:/f").is_err());
+        assert!(FaultPlan::parse("truncate:/f@x").is_err());
     }
 }

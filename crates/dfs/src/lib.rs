@@ -30,6 +30,7 @@
 mod block;
 mod cache;
 mod config;
+mod crc64;
 mod fault;
 mod metrics;
 mod namespace;
@@ -40,9 +41,10 @@ mod writer;
 pub use block::{BlockData, BlockId, BlockInfo};
 pub use cache::{BlockCache, CacheStats, DEFAULT_CACHE_BUDGET};
 pub use config::{ClusterConfig, NodeId};
-pub use fault::{FaultAction, FaultPlan, FtOptions};
+pub use crc64::{crc64, Crc64};
+pub use fault::{CorruptKind, FaultAction, FaultPlan, FtOptions};
 pub use metrics::DfsMetrics;
-pub use namespace::{Dfs, DfsError, FileStat};
+pub use namespace::{Dfs, DfsError, FileStat, ScrubReport};
 pub use slots::{SlotLease, SlotPool};
 pub use spill::{SpillMap, SpillStore};
 pub use writer::FileWriter;

@@ -21,6 +21,8 @@ pub struct DfsMetrics {
     bytes_written: AtomicU64,
     blocks_read: AtomicU64,
     blocks_written: AtomicU64,
+    corrupt_replicas: AtomicU64,
+    repaired_replicas: AtomicU64,
 }
 
 /// Point-in-time copy of the counters.
@@ -31,6 +33,10 @@ pub struct MetricsSnapshot {
     pub bytes_written: u64,
     pub blocks_read: u64,
     pub blocks_written: u64,
+    /// Replicas that failed their checksum on read or scrub.
+    pub corrupt_replicas: u64,
+    /// Fresh replicas created by read-repair or the scrubber.
+    pub repaired_replicas: u64,
 }
 
 impl DfsMetrics {
@@ -57,6 +63,23 @@ impl DfsMetrics {
         registry.observe("dfs.block.write.bytes", bytes);
     }
 
+    /// Records one integrity incident: `corrupt` replicas detected rotten
+    /// and `repaired` fresh replicas created to heal them. Mirrored to
+    /// the global registry as `dfs.integrity.corrupt` /
+    /// `dfs.integrity.repaired`.
+    pub(crate) fn record_integrity(&self, corrupt: u64, repaired: u64) {
+        self.corrupt_replicas.fetch_add(corrupt, Ordering::Relaxed);
+        self.repaired_replicas
+            .fetch_add(repaired, Ordering::Relaxed);
+        let registry = sh_trace::global();
+        if corrupt > 0 {
+            registry.counter_add("dfs.integrity.corrupt", corrupt);
+        }
+        if repaired > 0 {
+            registry.counter_add("dfs.integrity.repaired", repaired);
+        }
+    }
+
     /// Copies the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -65,6 +88,8 @@ impl DfsMetrics {
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             blocks_read: self.blocks_read.load(Ordering::Relaxed),
             blocks_written: self.blocks_written.load(Ordering::Relaxed),
+            corrupt_replicas: self.corrupt_replicas.load(Ordering::Relaxed),
+            repaired_replicas: self.repaired_replicas.load(Ordering::Relaxed),
         }
     }
 }
@@ -89,6 +114,12 @@ impl MetricsSnapshot {
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             blocks_read: self.blocks_read.saturating_sub(earlier.blocks_read),
             blocks_written: self.blocks_written.saturating_sub(earlier.blocks_written),
+            corrupt_replicas: self
+                .corrupt_replicas
+                .saturating_sub(earlier.corrupt_replicas),
+            repaired_replicas: self
+                .repaired_replicas
+                .saturating_sub(earlier.repaired_replicas),
         }
     }
 }

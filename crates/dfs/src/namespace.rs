@@ -11,7 +11,8 @@ use rand::prelude::*;
 use crate::block::{BlockData, BlockId, BlockInfo};
 use crate::cache::BlockCache;
 use crate::config::{ClusterConfig, NodeId};
-use crate::fault::FtOptions;
+use crate::crc64::{crc64, Crc64};
+use crate::fault::{CorruptKind, FtOptions};
 use crate::metrics::DfsMetrics;
 use crate::slots::SlotPool;
 use crate::spill::{SpillMap, SpillStore};
@@ -26,6 +27,11 @@ pub enum DfsError {
     AlreadyExists(String),
     /// Every replica of a block is on a dead node.
     BlockUnavailable(BlockId),
+    /// Every live replica of a block failed its checksum — the data is
+    /// detectably rotten and nothing healthy remains to repair from.
+    CorruptBlock(BlockId),
+    /// A text read hit non-UTF-8 bytes (binary file read as text).
+    NotUtf8(String),
 }
 
 impl fmt::Display for DfsError {
@@ -34,6 +40,10 @@ impl fmt::Display for DfsError {
             DfsError::NotFound(p) => write!(f, "file not found: {p}"),
             DfsError::AlreadyExists(p) => write!(f, "file already exists: {p}"),
             DfsError::BlockUnavailable(b) => write!(f, "all replicas lost for block {b:?}"),
+            DfsError::CorruptBlock(b) => {
+                write!(f, "every live replica of block {b:?} failed its checksum")
+            }
+            DfsError::NotUtf8(p) => write!(f, "not valid UTF-8 text: {p}"),
         }
     }
 }
@@ -44,6 +54,38 @@ impl std::error::Error for DfsError {}
 struct FileMeta {
     blocks: Vec<BlockId>,
     len: u64,
+    /// Streaming CRC-64 over the file's concatenated block payloads, in
+    /// append order — the digest the mmap spill path verifies against.
+    crc: Crc64,
+}
+
+/// What one scrubber pass saw and did. Replica counts are per-replica,
+/// `unrecoverable` counts whole blocks with no healthy live replica left
+/// (those are reported, not quarantined — rotten bytes beat no bytes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Files walked.
+    pub files: usize,
+    /// Blocks checked.
+    pub blocks: usize,
+    /// Live replicas whose bytes were checksummed.
+    pub replicas: usize,
+    /// Replicas that failed their checksum.
+    pub corrupt: usize,
+    /// Fresh replicas created to restore the replication factor.
+    pub repaired: usize,
+    /// Blocks where every live replica failed its checksum.
+    pub unrecoverable: usize,
+}
+
+impl fmt::Display for ScrubReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scrubbed {} files ({} blocks, {} replicas): {} corrupt, {} repaired, {} unrecoverable",
+            self.files, self.blocks, self.replicas, self.corrupt, self.repaired, self.unrecoverable
+        )
+    }
 }
 
 /// File-level metadata returned by [`Dfs::stat`].
@@ -243,19 +285,95 @@ impl Dfs {
     /// Reads one block from the perspective of `reader`: served locally if
     /// `reader` holds a live replica, remotely from any live replica
     /// otherwise. Returns the payload and whether the read was local.
+    ///
+    /// Every candidate replica is verified against the block's write-time
+    /// CRC-64 before it is served. A mismatch triggers *read-repair*: the
+    /// read falls over to the next replica, the rotten replica is
+    /// quarantined and the replication factor restored from a healthy
+    /// copy, and the path's caches are invalidated so no stale mapping of
+    /// the corrupt bytes survives. Only when every live replica fails its
+    /// checksum does the read error out — it never returns wrong bytes.
     pub fn read_block(&self, id: BlockId, reader: NodeId) -> Result<(Bytes, bool), DfsError> {
-        let inner = self.inner.lock();
-        let block = inner
-            .blocks
-            .get(&id)
-            .ok_or(DfsError::BlockUnavailable(id))?;
-        let live = |n: &NodeId| inner.alive.get(*n).copied().unwrap_or(false);
-        if !block.replicas.iter().any(live) {
+        let mut inner = self.inner.lock();
+        let Some(block) = inner.blocks.get(&id) else {
+            return Err(DfsError::BlockUnavailable(id));
+        };
+        let alive = &inner.alive;
+        let mut candidates: Vec<NodeId> = block
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&n| alive.get(n).copied().unwrap_or(false))
+            .collect();
+        if candidates.is_empty() {
             return Err(DfsError::BlockUnavailable(id));
         }
-        let local = block.replicas.iter().any(|n| *n == reader && live(n));
-        let data = block.data.clone();
+        // Locality first: a replica on the reading node is tried before
+        // any remote one.
+        if let Some(pos) = candidates.iter().position(|&n| n == reader) {
+            candidates.swap(0, pos);
+        }
+        let mut served: Option<(Bytes, bool)> = None;
+        let mut quarantined: Vec<NodeId> = Vec::new();
+        for node in candidates {
+            let bytes = block.replica_bytes(node);
+            if crc64(bytes) == block.crc {
+                served = Some((bytes.clone(), node == reader));
+                break;
+            }
+            quarantined.push(node);
+        }
+        let Some((data, local)) = served else {
+            // Nothing healthy left: surface the corruption rather than
+            // serving rotten bytes. Replicas stay put for post-mortems.
+            let path = block.path.clone();
+            drop(inner);
+            self.metrics.record_integrity(quarantined.len() as u64, 0);
+            for node in &quarantined {
+                emit_corrupt_replica(&path, id, *node, "unrecoverable");
+            }
+            return Err(DfsError::CorruptBlock(id));
+        };
+        if quarantined.is_empty() {
+            drop(inner);
+            self.metrics.record_read(data.len() as u64, local);
+            return Ok((data, local));
+        }
+        // ---- read-repair ------------------------------------------------
+        let path = block.path.clone();
+        if let Some(b) = inner.blocks.get_mut(&id) {
+            b.replicas.retain(|n| !quarantined.contains(n));
+            for n in &quarantined {
+                b.corrupt.remove(n);
+            }
+        }
+        let (created, len) =
+            restore_replication_locked(&mut inner, self.config.effective_replication(), id);
+        // A mapped spill or cached parse of the corrupt bytes must never
+        // be served after the repair: bump the path's generation and drop
+        // both caches through the epoch protocol.
+        *inner.generations.entry(path.clone()).or_insert(0) += 1;
         drop(inner);
+        for _ in 0..created {
+            // Each restored replica copies the block across the network.
+            self.metrics.record_read(len, false);
+        }
+        self.metrics
+            .record_integrity(quarantined.len() as u64, created as u64);
+        for node in &quarantined {
+            emit_corrupt_replica(&path, id, *node, "read");
+        }
+        sh_trace::events::emit(
+            "storage.read_repair",
+            vec![
+                ("path", path.clone()),
+                ("block", id.0.to_string()),
+                ("quarantined", quarantined.len().to_string()),
+                ("created", created.to_string()),
+            ],
+        );
+        self.cache.invalidate(&path);
+        self.spill.remove(&path);
         self.metrics.record_read(data.len() as u64, local);
         Ok((data, local))
     }
@@ -267,7 +385,9 @@ impl Dfs {
         let mut out = String::new();
         for info in locations {
             let (bytes, _) = self.read_block(info.id, usize::MAX)?;
-            out.push_str(std::str::from_utf8(&bytes).expect("DFS stores UTF-8 text"));
+            out.push_str(
+                std::str::from_utf8(&bytes).map_err(|_| DfsError::NotUtf8(path.to_string()))?,
+            );
         }
         Ok(out)
     }
@@ -309,8 +429,20 @@ impl Dfs {
         if !self.ft.lock().mmap_scans {
             return None;
         }
-        let generation = self.file_generation(path);
-        self.spill.map_path(path, generation, data).ok()
+        let (generation, expected_crc) = {
+            let inner = self.inner.lock();
+            let crc = inner.files.get(path)?.crc.finish();
+            (inner.generations.get(path).copied().unwrap_or(0), crc)
+        };
+        match self.spill.map_path(path, generation, data, expected_crc) {
+            Ok(map) => Some(map),
+            Err(_) => {
+                // Spill failed its checksum (or plain I/O): fall back to
+                // the owned decode path rather than scanning suspect bytes.
+                sh_trace::global().counter_add("dfs.integrity.spill_rejected", 1);
+                None
+            }
+        }
     }
 
     /// Records that content validation passed against the mapping
@@ -324,8 +456,7 @@ impl Dfs {
     pub fn write_string(&self, path: &str, contents: &str) -> Result<(), DfsError> {
         let mut w = self.create(path)?;
         w.write_str(contents);
-        w.close();
-        Ok(())
+        w.close()
     }
 
     /// True when `node` is alive (task trackers heartbeat through the
@@ -384,54 +515,202 @@ impl Dfs {
     pub fn rereplicate(&self) -> usize {
         let mut inner = self.inner.lock();
         let replication = self.config.effective_replication();
-        let alive = inner.alive.clone();
-        let live_nodes: Vec<NodeId> = (0..alive.len()).filter(|&n| alive[n]).collect();
-        if live_nodes.is_empty() {
-            return 0;
-        }
-        let mut created = 0usize;
         let ids: Vec<BlockId> = inner.blocks.keys().copied().collect();
+        let mut created = 0usize;
+        let mut copied: Vec<u64> = Vec::new();
         for id in ids {
-            // Compute the replacement plan without holding a mutable
-            // borrow on the block.
-            let (mut live_replicas, len) = {
-                let block = &inner.blocks[&id];
+            let (made, len) = restore_replication_locked(&mut inner, replication, id);
+            created += made;
+            // Copying a block crosses the network once per new replica.
+            copied.extend(std::iter::repeat_n(len, made));
+        }
+        drop(inner);
+        for len in copied {
+            self.metrics.record_read(len, false);
+        }
+        // Replica layout changed under the readers' feet: flush.
+        self.cache.clear();
+        sh_trace::events::emit("dfs.rereplicate", vec![("created", created.to_string())]);
+        created
+    }
+
+    /// Test/chaos hook: installs a silent-corruption overlay on replica
+    /// ordinal `replica` of every block of `path` — a flipped middle byte
+    /// or a truncation to half length, depending on `kind`. Nothing else
+    /// happens: no cache is invalidated and no event beyond `fault.inject`
+    /// is emitted, because bit-rot does not announce itself. Returns the
+    /// number of blocks corrupted (blocks without that ordinal or with an
+    /// empty payload are skipped).
+    pub fn corrupt_replica(&self, path: &str, replica: usize, kind: CorruptKind) -> usize {
+        let mut inner = self.inner.lock();
+        let Some(meta) = inner.files.get(path) else {
+            return 0;
+        };
+        let ids = meta.blocks.clone();
+        let mut hit = 0usize;
+        for id in ids {
+            let Some(block) = inner.blocks.get_mut(&id) else {
+                continue;
+            };
+            let Some(&node) = block.replicas.get(replica) else {
+                continue;
+            };
+            if block.data.is_empty() {
+                continue;
+            }
+            let mut bytes = block.data.to_vec();
+            let mid = bytes.len() / 2;
+            match kind {
+                CorruptKind::Flip => bytes[mid] ^= 0x01,
+                CorruptKind::Truncate => bytes.truncate(mid),
+            }
+            block.corrupt.insert(node, Bytes::from(bytes));
+            hit += 1;
+        }
+        drop(inner);
+        if hit > 0 {
+            sh_trace::events::emit(
+                "fault.inject",
+                vec![
+                    ("action", kind.to_string()),
+                    ("path", path.to_string()),
+                    ("replica", replica.to_string()),
+                    ("blocks", hit.to_string()),
+                ],
+            );
+        }
+        hit
+    }
+
+    /// Test hook for property tests: flips one bit of one byte at file
+    /// offset `offset % len` in replica ordinal `replica` of `path`.
+    /// Returns false when the file is missing/empty or the containing
+    /// block has no such replica ordinal.
+    pub fn corrupt_replica_byte(&self, path: &str, replica: usize, offset: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(meta) = inner.files.get(path) else {
+            return false;
+        };
+        if meta.len == 0 {
+            return false;
+        }
+        let mut target = offset % meta.len;
+        let ids = meta.blocks.clone();
+        for id in ids {
+            let Some(block) = inner.blocks.get_mut(&id) else {
+                continue;
+            };
+            let len = block.data.len() as u64;
+            if target >= len {
+                target -= len;
+                continue;
+            }
+            let Some(&node) = block.replicas.get(replica) else {
+                return false;
+            };
+            let mut bytes = block.data.to_vec();
+            bytes[target as usize] ^= 0x80;
+            block.corrupt.insert(node, Bytes::from(bytes));
+            return true;
+        }
+        false
+    }
+
+    /// One scrubber pass over every file under `prefix`: checksums every
+    /// live replica, quarantines and re-replicates the rotten ones, and
+    /// invalidates the caches of any path it healed. Blocks whose every
+    /// live replica is rotten are reported as unrecoverable but left in
+    /// place — rotten bytes beat no bytes for post-mortems.
+    ///
+    /// The lock is taken per block, not for the whole pass, so a
+    /// background scrub never stalls concurrent readers for long.
+    pub fn scrub(&self, prefix: &str) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        let replication = self.config.effective_replication();
+        for path in self.list(prefix) {
+            report.files += 1;
+            let ids: Vec<BlockId> = {
+                let inner = self.inner.lock();
+                match inner.files.get(&path) {
+                    Some(meta) => meta.blocks.clone(),
+                    None => continue, // deleted since listing
+                }
+            };
+            let mut healed = false;
+            for id in ids {
+                report.blocks += 1;
+                let mut inner = self.inner.lock();
+                let Some(block) = inner.blocks.get(&id) else {
+                    continue;
+                };
+                let alive = &inner.alive;
                 let live: Vec<NodeId> = block
                     .replicas
                     .iter()
                     .copied()
                     .filter(|&n| alive.get(n).copied().unwrap_or(false))
                     .collect();
-                (live, block.data.len() as u64)
-            };
-            if live_replicas.is_empty() || live_replicas.len() >= replication.min(live_nodes.len())
-            {
-                continue;
-            }
-            let mut candidates: Vec<NodeId> = live_nodes
-                .iter()
-                .copied()
-                .filter(|n| !live_replicas.contains(n))
-                .collect();
-            candidates.shuffle(&mut inner.rng);
-            while live_replicas.len() < replication.min(live_nodes.len()) {
-                let Some(target) = candidates.pop() else {
-                    break;
-                };
-                live_replicas.push(target);
-                created += 1;
-                // Copying a block crosses the network once.
+                report.replicas += live.len();
+                let bad: Vec<NodeId> = live
+                    .iter()
+                    .copied()
+                    .filter(|&n| !block.replica_healthy(n))
+                    .collect();
+                if bad.is_empty() {
+                    continue;
+                }
+                report.corrupt += bad.len();
+                if bad.len() == live.len() {
+                    report.unrecoverable += 1;
+                    drop(inner);
+                    self.metrics.record_integrity(bad.len() as u64, 0);
+                    for node in &bad {
+                        emit_corrupt_replica(&path, id, *node, "unrecoverable");
+                    }
+                    continue;
+                }
+                if let Some(b) = inner.blocks.get_mut(&id) {
+                    b.replicas.retain(|n| !bad.contains(n));
+                    for node in &bad {
+                        b.corrupt.remove(node);
+                    }
+                }
+                let (created, len) = restore_replication_locked(&mut inner, replication, id);
                 drop(inner);
-                self.metrics.record_read(len, false);
-                inner = self.inner.lock();
+                healed = true;
+                report.repaired += created;
+                for _ in 0..created {
+                    self.metrics.record_read(len, false);
+                }
+                self.metrics
+                    .record_integrity(bad.len() as u64, created as u64);
+                for node in &bad {
+                    emit_corrupt_replica(&path, id, *node, "scrub");
+                }
             }
-            inner.blocks.get_mut(&id).expect("block exists").replicas = live_replicas;
+            if healed {
+                // Same epoch protocol as read-repair: no cached parse or
+                // mapped spill of the pre-repair bytes may survive.
+                let mut inner = self.inner.lock();
+                *inner.generations.entry(path.clone()).or_insert(0) += 1;
+                drop(inner);
+                self.cache.invalidate(&path);
+                self.spill.remove(&path);
+            }
         }
-        drop(inner);
-        // Replica layout changed under the readers' feet: flush.
-        self.cache.clear();
-        sh_trace::events::emit("dfs.rereplicate", vec![("created", created.to_string())]);
-        created
+        sh_trace::global().counter_add("dfs.integrity.scrubbed_blocks", report.blocks as u64);
+        sh_trace::events::emit(
+            "scrub.done",
+            vec![
+                ("prefix", prefix.to_string()),
+                ("files", report.files.to_string()),
+                ("blocks", report.blocks.to_string()),
+                ("corrupt", report.corrupt.to_string()),
+                ("repaired", report.repaired.to_string()),
+                ("unrecoverable", report.unrecoverable.to_string()),
+            ],
+        );
+        report
     }
 
     /// Blocks whose every replica is on a dead node.
@@ -445,9 +724,23 @@ impl Dfs {
     }
 
     /// Appends one sealed block to `path` (called by [`FileWriter`]).
-    pub(crate) fn append_block(&self, path: &str, data: Bytes, writer_node: NodeId) {
+    ///
+    /// Fails with [`DfsError::NotFound`] when the file vanished under the
+    /// writer (deleted mid-write, or an injected namespace fault) — the
+    /// task fails cleanly instead of panicking a worker thread.
+    pub(crate) fn append_block(
+        &self,
+        path: &str,
+        data: Bytes,
+        writer_node: NodeId,
+    ) -> Result<(), DfsError> {
         let len = data.len() as u64;
+        let crc = crc64(&data);
+        let payload = data.clone(); // Bytes: refcount bump, not a copy
         let mut inner = self.inner.lock();
+        if !inner.files.contains_key(path) {
+            return Err(DfsError::NotFound(path.to_string()));
+        }
         let id = BlockId(inner.next_block);
         inner.next_block += 1;
         let replicas = place_replicas(
@@ -456,15 +749,25 @@ impl Dfs {
             self.config.effective_replication(),
             &mut inner.rng,
         );
-        inner.blocks.insert(id, BlockData { data, replicas });
-        let meta = inner
-            .files
-            .get_mut(path)
-            .expect("writer holds an open file");
+        inner.blocks.insert(
+            id,
+            BlockData {
+                data,
+                crc,
+                path: path.to_string(),
+                replicas,
+                corrupt: BTreeMap::new(),
+            },
+        );
+        let Some(meta) = inner.files.get_mut(path) else {
+            return Err(DfsError::NotFound(path.to_string()));
+        };
         meta.blocks.push(id);
         meta.len += len;
+        meta.crc.update(&payload);
         drop(inner);
         self.metrics.record_write(len);
+        Ok(())
     }
 }
 
@@ -478,6 +781,70 @@ fn default_slot_count(worker_threads: Option<usize>) -> usize {
                 .unwrap_or(4)
         })
         .max(1)
+}
+
+/// Restores the replication factor of one block from its surviving live
+/// replicas, picking targets at random among live nodes not already
+/// holding a copy. Shared by [`Dfs::rereplicate`], read-repair, and the
+/// scrubber. Returns `(replicas created, block length)`; blocks that are
+/// missing, already at factor, or have no live replica are left alone.
+fn restore_replication_locked(inner: &mut Inner, replication: usize, id: BlockId) -> (usize, u64) {
+    let alive = inner.alive.clone();
+    let live_nodes: Vec<NodeId> = (0..alive.len()).filter(|&n| alive[n]).collect();
+    if live_nodes.is_empty() {
+        return (0, 0);
+    }
+    // Compute the replacement plan without holding a mutable borrow on
+    // the block (the rng shuffle below needs one on `inner`).
+    let (mut live_replicas, len) = {
+        let Some(block) = inner.blocks.get(&id) else {
+            return (0, 0);
+        };
+        let live: Vec<NodeId> = block
+            .replicas
+            .iter()
+            .copied()
+            .filter(|&n| alive.get(n).copied().unwrap_or(false))
+            .collect();
+        (live, block.data.len() as u64)
+    };
+    let target = replication.min(live_nodes.len());
+    if live_replicas.is_empty() || live_replicas.len() >= target {
+        return (0, len);
+    }
+    let mut candidates: Vec<NodeId> = live_nodes
+        .iter()
+        .copied()
+        .filter(|n| !live_replicas.contains(n))
+        .collect();
+    candidates.shuffle(&mut inner.rng);
+    let mut created = 0usize;
+    while live_replicas.len() < target {
+        let Some(node) = candidates.pop() else {
+            break;
+        };
+        live_replicas.push(node);
+        created += 1;
+    }
+    if let Some(block) = inner.blocks.get_mut(&id) {
+        block.replicas = live_replicas;
+    }
+    (created, len)
+}
+
+/// Journals one detected-rotten replica: `repair` says which path found
+/// it ("read", "scrub") or that nothing healthy was left
+/// ("unrecoverable").
+fn emit_corrupt_replica(path: &str, id: BlockId, node: NodeId, repair: &str) {
+    sh_trace::events::emit(
+        "storage.corrupt_replica",
+        vec![
+            ("path", path.to_string()),
+            ("block", id.0.to_string()),
+            ("node", node.to_string()),
+            ("repair", repair.to_string()),
+        ],
+    );
 }
 
 /// HDFS-shaped placement: first replica on the writer, the rest on
@@ -510,7 +877,7 @@ mod tests {
         let mut w = fs.create("/data/points").unwrap();
         w.write_line("1 2");
         w.write_line("3 4");
-        w.close();
+        w.close().unwrap();
         assert_eq!(fs.read_to_string("/data/points").unwrap(), "1 2\n3 4\n");
         let stat = fs.stat("/data/points").unwrap();
         assert_eq!(stat.len, 8);
@@ -532,7 +899,7 @@ mod tests {
         for _ in 0..1000 {
             w.write_line(&line);
         }
-        w.close();
+        w.close().unwrap();
         let stat = fs.stat("/big").unwrap();
         assert!(stat.num_blocks > 1, "expected multiple blocks");
         for info in fs.block_locations("/big").unwrap() {
@@ -712,10 +1079,106 @@ mod tests {
     }
 
     #[test]
+    fn read_repair_quarantines_and_heals() {
+        let fs = dfs();
+        fs.write_string("/f", "alpha\nbeta\n").unwrap();
+        let before = fs.metrics().snapshot();
+        assert_eq!(fs.corrupt_replica("/f", 0, CorruptKind::Flip), 1);
+        let info = fs.block_locations("/f").unwrap()[0].clone();
+        let primary = info.replicas[0];
+        // Reading from the corrupt primary must serve the written bytes
+        // from a healthy replica, never the rotten local copy.
+        let (bytes, local) = fs.read_block(info.id, primary).unwrap();
+        assert_eq!(&bytes[..], b"alpha\nbeta\n");
+        assert!(!local, "the local replica was rotten; served remotely");
+        let delta = fs.metrics().snapshot().since(&before);
+        assert_eq!(delta.corrupt_replicas, 1);
+        assert!(delta.repaired_replicas >= 1);
+        // Factor restored, and the healed file reads clean from anywhere.
+        let info = fs.block_locations("/f").unwrap()[0].clone();
+        assert_eq!(info.replicas.len(), fs.config().effective_replication());
+        for n in 0..fs.config().num_nodes {
+            assert_eq!(&fs.read_block(info.id, n).unwrap().0[..], b"alpha\nbeta\n");
+        }
+    }
+
+    #[test]
+    fn read_repair_bumps_generation_and_drops_caches() {
+        let fs = dfs();
+        fs.write_string("/f", "1 2\n").unwrap();
+        let gen0 = fs.file_generation("/f");
+        fs.cache().put("/f", Arc::new(7u32), 8);
+        fs.corrupt_replica("/f", 0, CorruptKind::Truncate);
+        // Silent corruption is silent: nothing is invalidated yet.
+        assert!(fs.cache().get("/f").is_some());
+        assert_eq!(fs.file_generation("/f"), gen0);
+        let info = fs.block_locations("/f").unwrap()[0].clone();
+        fs.read_block(info.id, info.replicas[0]).unwrap();
+        assert!(fs.file_generation("/f") > gen0, "repair bumps generation");
+        assert!(
+            fs.cache().get("/f").is_none(),
+            "repair invalidates the path"
+        );
+    }
+
+    #[test]
+    fn all_replicas_corrupt_is_an_error_not_wrong_bytes() {
+        let fs = dfs();
+        fs.write_string("/f", "payload\n").unwrap();
+        let rep = fs.config().effective_replication();
+        for r in 0..rep {
+            assert_eq!(fs.corrupt_replica("/f", r, CorruptKind::Flip), 1);
+        }
+        let info = fs.block_locations("/f").unwrap()[0].clone();
+        assert_eq!(
+            fs.read_block(info.id, 0),
+            Err(DfsError::CorruptBlock(info.id))
+        );
+        // The scrubber reports it unrecoverable and leaves the replicas
+        // in place for post-mortems.
+        let report = fs.scrub("/f");
+        assert_eq!(report.unrecoverable, 1);
+        assert_eq!(fs.block_locations("/f").unwrap()[0].replicas.len(), rep);
+    }
+
+    #[test]
+    fn scrub_heals_silent_corruption() {
+        let fs = dfs();
+        fs.write_string("/x/a", &"row one\n".repeat(100)).unwrap();
+        fs.write_string("/x/b", "solo\n").unwrap();
+        let hit = fs.corrupt_replica("/x/a", 0, CorruptKind::Flip)
+            + fs.corrupt_replica("/x/b", 1, CorruptKind::Truncate);
+        assert!(hit >= 2);
+        let report = fs.scrub("/x/");
+        assert_eq!(report.files, 2);
+        assert_eq!(report.corrupt, hit);
+        assert_eq!(report.repaired, hit);
+        assert_eq!(report.unrecoverable, 0);
+        assert_eq!(fs.read_to_string("/x/b").unwrap(), "solo\n");
+        // Second pass finds nothing: the heal stuck.
+        let clean = fs.scrub("/x/");
+        assert_eq!(clean.corrupt, 0);
+        assert_eq!(clean.repaired, 0);
+    }
+
+    #[test]
+    fn single_byte_rot_at_any_offset_is_detected() {
+        let fs = dfs();
+        let content = "0123456789\n".repeat(50);
+        fs.write_string("/f", &content).unwrap();
+        for offset in [0u64, 7, 100, 549, 10_000] {
+            assert!(fs.corrupt_replica_byte("/f", 0, offset));
+            let report = fs.scrub("/f");
+            assert_eq!(report.corrupt, 1, "offset {offset}");
+            assert_eq!(fs.read_to_string("/f").unwrap(), content);
+        }
+    }
+
+    #[test]
     fn empty_file_stat() {
         let fs = dfs();
         let w = fs.create("/empty").unwrap();
-        w.close();
+        w.close().unwrap();
         let stat = fs.stat("/empty").unwrap();
         assert_eq!(stat.len, 0);
         assert_eq!(stat.num_blocks, 0);

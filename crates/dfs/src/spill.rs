@@ -47,6 +47,10 @@ pub struct SpillMap {
 
 struct SpillEntry {
     generation: u64,
+    /// CRC-64 the caller claimed for the spilled bytes — a hit requires
+    /// the same checksum, so a repaired file (new digest, same length)
+    /// can never reuse a mapping of the pre-repair bytes.
+    crc: u64,
     file: PathBuf,
     map: Arc<Mmap>,
     validated: bool,
@@ -80,11 +84,23 @@ impl Default for SpillStore {
 impl SpillStore {
     /// Returns a mapping of `data` for DFS path `key` at `generation`,
     /// spilling to disk on first use and reusing the cached mapping when
-    /// the generation and length still match.
-    pub fn map_path(&self, key: &str, generation: u64, data: &[u8]) -> io::Result<SpillMap> {
+    /// the generation, length, and checksum still match.
+    ///
+    /// `crc` is the expected CRC-64 of `data` (the file's write-time
+    /// digest). A fresh spill is verified against it after the write+map
+    /// round-trip, so a torn spill write or tmpfs bit-flip surfaces as an
+    /// error (callers fall back to the owned path) instead of being
+    /// scanned as truth.
+    pub fn map_path(
+        &self,
+        key: &str,
+        generation: u64,
+        data: &[u8],
+        crc: u64,
+    ) -> io::Result<SpillMap> {
         let mut inner = self.inner.lock();
         if let Some(entry) = inner.entries.get(key) {
-            if entry.generation == generation && entry.map.len() == data.len() {
+            if entry.generation == generation && entry.map.len() == data.len() && entry.crc == crc {
                 return Ok(SpillMap {
                     map: Arc::clone(&entry.map),
                     validated: entry.validated,
@@ -109,10 +125,18 @@ impl SpillStore {
             .join(format!("s{seq}.bin"));
         fs::write(&file, data)?;
         let map = Arc::new(unsafe { Mmap::map(&fs::File::open(&file)?)? });
+        if crate::crc64::crc64(&map) != crc {
+            let _ = fs::remove_file(&file);
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("spill of {key} failed its checksum"),
+            ));
+        }
         if let Some(old) = inner.entries.insert(
             key.to_string(),
             SpillEntry {
                 generation,
+                crc,
                 file,
                 map: Arc::clone(&map),
                 validated: false,
@@ -170,15 +194,20 @@ impl Drop for SpillStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::crc64::crc64;
+
+    fn map(store: &SpillStore, key: &str, generation: u64, data: &[u8]) -> io::Result<SpillMap> {
+        store.map_path(key, generation, data, crc64(data))
+    }
 
     #[test]
     fn spill_roundtrip_and_reuse() {
         let store = SpillStore::default();
-        let m1 = store.map_path("/f", 1, b"abcdef").unwrap();
+        let m1 = map(&store, "/f", 1, b"abcdef").unwrap();
         assert_eq!(&m1.map[..], b"abcdef");
         assert!(!m1.validated);
         store.mark_validated("/f", 1);
-        let m2 = store.map_path("/f", 1, b"abcdef").unwrap();
+        let m2 = map(&store, "/f", 1, b"abcdef").unwrap();
         assert!(m2.validated, "revalidated flag survives a cache hit");
         assert!(
             std::ptr::eq(Arc::as_ptr(&m1.map), Arc::as_ptr(&m2.map)),
@@ -190,9 +219,9 @@ mod tests {
     #[test]
     fn new_generation_respills_and_old_mapping_stays_readable() {
         let store = SpillStore::default();
-        let old = store.map_path("/f", 1, b"old contents").unwrap();
+        let old = map(&store, "/f", 1, b"old contents").unwrap();
         store.mark_validated("/f", 1);
-        let new = store.map_path("/f", 2, b"new!").unwrap();
+        let new = map(&store, "/f", 2, b"new!").unwrap();
         assert_eq!(&new.map[..], b"new!");
         assert!(
             !new.validated,
@@ -205,15 +234,38 @@ mod tests {
     #[test]
     fn length_change_respills() {
         let store = SpillStore::default();
-        store.map_path("/f", 1, b"aaaa").unwrap();
-        let m = store.map_path("/f", 1, b"aaaaaa").unwrap();
+        map(&store, "/f", 1, b"aaaa").unwrap();
+        let m = map(&store, "/f", 1, b"aaaaaa").unwrap();
         assert_eq!(m.map.len(), 6);
+    }
+
+    #[test]
+    fn crc_change_respills_same_length() {
+        let store = SpillStore::default();
+        let old = map(&store, "/f", 1, b"aaaa").unwrap();
+        store.mark_validated("/f", 1);
+        // Same generation and length, different bytes (a repaired file):
+        // must not serve the stale mapping or its validated flag.
+        let new = map(&store, "/f", 1, b"bbbb").unwrap();
+        assert_eq!(&new.map[..], b"bbbb");
+        assert!(!new.validated);
+        assert_eq!(&old.map[..], b"aaaa");
+    }
+
+    #[test]
+    fn checksum_mismatch_is_an_error() {
+        let store = SpillStore::default();
+        let err = store
+            .map_path("/f", 1, b"payload", 0xDEAD_BEEF)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(store.is_empty(), "rejected spill leaves nothing cached");
     }
 
     #[test]
     fn remove_drops_entry() {
         let store = SpillStore::default();
-        store.map_path("/f", 1, b"x").unwrap();
+        map(&store, "/f", 1, b"x").unwrap();
         store.remove("/f");
         assert!(store.is_empty());
     }

@@ -3,20 +3,24 @@
 use bytes::Bytes;
 
 use crate::config::NodeId;
-use crate::namespace::Dfs;
+use crate::namespace::{Dfs, DfsError};
 
 /// Writes newline-terminated records into a DFS file, sealing a block
 /// whenever the buffer would exceed the configured block size. Blocks are
 /// always sealed at a record boundary.
 ///
-/// Dropping the writer without calling [`FileWriter::close`] flushes the
-/// tail block too (RAII), but `close` is preferred for explicitness.
+/// Append failures (the file deleted under the writer, injected namespace
+/// faults) are latched and surfaced by [`FileWriter::close`]; subsequent
+/// writes become no-ops. Dropping the writer without calling `close`
+/// flushes the tail block too (RAII) but swallows any latched error, so
+/// `close` is preferred wherever the result can be checked.
 pub struct FileWriter {
     dfs: Dfs,
     path: String,
     node: NodeId,
     buf: Vec<u8>,
     closed: bool,
+    err: Option<DfsError>,
 }
 
 impl FileWriter {
@@ -28,6 +32,7 @@ impl FileWriter {
             node,
             buf: Vec::with_capacity(cap.min(1 << 20)),
             closed: false,
+            err: None,
         }
     }
 
@@ -74,17 +79,24 @@ impl FileWriter {
         self.node
     }
 
-    /// Flushes the tail block and finishes the file.
-    pub fn close(mut self) {
+    /// Flushes the tail block and finishes the file, surfacing the first
+    /// append error hit during the write (if any).
+    pub fn close(mut self) -> Result<(), DfsError> {
         self.finish();
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
     }
 
     fn seal_block(&mut self) {
-        if self.buf.is_empty() {
+        if self.buf.is_empty() || self.err.is_some() {
             return;
         }
         let data = Bytes::from(std::mem::take(&mut self.buf));
-        self.dfs.append_block(&self.path, data, self.node);
+        if let Err(e) = self.dfs.append_block(&self.path, data, self.node) {
+            self.err = Some(e);
+        }
     }
 
     fn finish(&mut self) {
@@ -97,6 +109,7 @@ impl FileWriter {
 
 impl Drop for FileWriter {
     fn drop(&mut self) {
+        // RAII flush; a latched error has nowhere to go from a destructor.
         self.finish();
     }
 }
@@ -124,7 +137,7 @@ mod tests {
         w.write_line("small");
         w.write_line(&huge);
         w.write_line("after");
-        w.close();
+        w.close().unwrap();
         let stat = fs.stat("/f").unwrap();
         assert_eq!(stat.num_blocks, 3);
         let text = fs.read_to_string("/f").unwrap();
@@ -138,11 +151,23 @@ mod tests {
         let blob: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
         let mut w = fs.create("/bin").unwrap();
         w.write_chunk(&blob);
-        w.close();
+        w.close().unwrap();
         let stat = fs.stat("/bin").unwrap();
         assert_eq!(stat.len, blob.len() as u64);
         assert_eq!(stat.num_blocks, 3);
         assert_eq!(fs.read_bytes("/bin").unwrap(), blob);
+    }
+
+    #[test]
+    fn close_surfaces_append_failure() {
+        use crate::namespace::DfsError;
+        let fs = Dfs::new(ClusterConfig::small_for_tests());
+        let mut w = fs.create("/gone").unwrap();
+        w.write_line("doomed");
+        // Deleting the file under an open writer turns the flush into a
+        // structured error instead of a worker panic.
+        fs.delete("/gone");
+        assert_eq!(w.close(), Err(DfsError::NotFound("/gone".to_string())));
     }
 
     #[test]
@@ -152,7 +177,7 @@ mod tests {
         let mut w = fs.create("/b").unwrap();
         w.write_line("1 2");
         w.write_line("3 4");
-        w.close();
+        w.close().unwrap();
         assert_eq!(
             fs.read_to_string("/a").unwrap(),
             fs.read_to_string("/b").unwrap()

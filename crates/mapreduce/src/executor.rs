@@ -653,6 +653,15 @@ where
         dfs.kill_node(node);
         span.attr("injected_node_kill", node);
     }
+    // Silent replica corruption strikes at the same boundary: the rotten
+    // bytes sit there undetected until a map task's read checksums them.
+    for (path, replica, kind) in opts.fault_plan.corruptions() {
+        let hit = dfs.corrupt_replica(&path, replica, kind);
+        span.attr(
+            "injected_corruption",
+            format!("{kind}:{path}@{replica}x{hit}"),
+        );
+    }
 
     // ---- map phase ----------------------------------------------------
     let n_tasks = job.splits.len();
@@ -711,7 +720,7 @@ where
             for line in &res.output {
                 w.write_line(line);
             }
-            w.close();
+            w.close()?;
             let bytes: u64 = res.output.iter().map(|l| l.len() as u64 + 1).sum();
             res.cost.output_bytes += bytes;
             counters.inc_static("output.map.bytes", bytes);
@@ -825,7 +834,7 @@ where
                 for line in &output {
                     w.write_line(line);
                 }
-                w.close();
+                w.close()?;
                 let bytes: u64 = output.iter().map(|l| l.len() as u64 + 1).sum();
                 cost.output_bytes += bytes;
                 counters.inc_static("output.reduce.bytes", bytes);
@@ -846,7 +855,7 @@ where
         for line in &lines {
             w.write_line(line);
         }
-        w.close();
+        w.close()?;
         counters.inc_static(
             "output.side.bytes",
             lines.iter().map(|l| l.len() as u64 + 1).sum(),
@@ -856,7 +865,7 @@ where
         let path = format!("{}/{name}", job.output);
         let mut w = dfs.create(&path)?;
         w.write_chunk(&blob);
-        w.close();
+        w.close()?;
         counters.inc_static("output.side.bytes", blob.len() as u64);
     }
 
@@ -1227,7 +1236,7 @@ mod tests {
         for i in 0..lines {
             w.write_line(&format!("w{} common", i % 10));
         }
-        w.close();
+        w.close().unwrap();
     }
 
     #[test]

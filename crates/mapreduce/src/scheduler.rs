@@ -702,7 +702,7 @@ mod tests {
         for i in 0..2000 {
             w.write_line(&format!("w{} common", i % 10));
         }
-        w.close();
+        w.close().unwrap();
         let sched = JobScheduler::new(&fs, SchedConfig::default());
         let handles: Vec<_> = (0..3)
             .map(|i| {

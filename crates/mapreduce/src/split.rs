@@ -143,7 +143,7 @@ mod tests {
         for i in 0..2000 {
             w.write_line(&format!("{i} {i}"));
         }
-        w.close();
+        w.close().unwrap();
         let splits = InputSplit::from_file(&fs, "/f").unwrap();
         assert_eq!(splits.len(), fs.stat("/f").unwrap().num_blocks);
         assert!(splits.len() > 1);

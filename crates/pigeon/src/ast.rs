@@ -153,6 +153,20 @@ pub enum Stmt {
     /// a waterfall rendering of its span tree with the critical path
     /// marked and the dominant phase summarized.
     ExplainAnalyze(Box<Stmt>),
+    /// `SCRUB;` / `SCRUB '<path>';` / `SCRUB <var>;` — checksum every
+    /// live replica under the target (the whole namespace when omitted;
+    /// an indexed variable scrubs its index directory), quarantine and
+    /// re-replicate rotten ones, and dump the report.
+    Scrub { target: Option<ScrubTarget> },
+}
+
+/// What a `SCRUB` statement walks.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScrubTarget {
+    /// A literal DFS path prefix: `SCRUB '/idx/points';`.
+    Path(String),
+    /// A bound variable: `SCRUB points;` scrubs the files behind it.
+    Var(String),
 }
 
 /// A parsed script.

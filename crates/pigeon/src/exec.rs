@@ -11,7 +11,7 @@ use sh_geom::{Point, Polygon, Record, Rect};
 use sh_mapreduce::{JobHandle, JobScheduler, SchedConfig, SchedPolicy};
 use sh_trace::{Event, JobProfile, Sampler, Waterfall};
 
-use crate::ast::{RecordType, Script, Stmt};
+use crate::ast::{RecordType, Script, ScrubTarget, Stmt};
 
 /// Errors from parsing or executing a script.
 #[derive(Debug)]
@@ -96,6 +96,9 @@ pub struct Pigeon {
     /// Rendered profiles of statements that tripped the slow-query
     /// threshold, drained into the dump output after each statement.
     slow_log: Vec<String>,
+    /// Background integrity scrubber (`SET scrub_interval <ms>;`);
+    /// stopped and joined when replaced, disabled, or the engine drops.
+    scrubber: Option<Scrubber>,
 }
 
 /// What an asynchronous `SUBMIT` statement hands back at `WAIT`: the
@@ -120,6 +123,7 @@ impl Pigeon {
             sampler: None,
             slow_query_ms: 0,
             slow_log: Vec::new(),
+            scrubber: None,
         }
     }
 
@@ -252,7 +256,7 @@ impl Pigeon {
                     writer.write_line(&line);
                     imported += 1;
                 }
-                writer.close();
+                writer.close()?;
                 if imported == 0 {
                     return Err(PigeonError::Type(format!("{host_path}: no records")));
                 }
@@ -909,6 +913,22 @@ impl Pigeon {
                     Err(e) => return Err(PigeonError::Job(format!("job {id}: {e}"))),
                 }
             }
+            Stmt::Scrub { target } => {
+                let prefix = match target {
+                    None => String::new(),
+                    Some(ScrubTarget::Path(p)) => p.clone(),
+                    Some(ScrubTarget::Var(v)) => match self.lookup(v)? {
+                        Value::Heap { path, .. } => path.clone(),
+                        Value::Indexed { file, .. } => file.dir.clone(),
+                        Value::Result(_) => {
+                            return Err(PigeonError::Type(format!(
+                                "SCRUB {v}: result sets have no storage to scrub"
+                            )))
+                        }
+                    },
+                };
+                dumped.push(self.dfs.scrub(&prefix).to_string());
+            }
             Stmt::Store { src, path } => {
                 let lines = match self.lookup(src)? {
                     Value::Result(lines) => lines.clone(),
@@ -922,7 +942,7 @@ impl Pigeon {
                 for line in &lines {
                     w.write_line(line);
                 }
-                w.close();
+                w.close()?;
             }
         }
         Ok(())
@@ -1031,13 +1051,28 @@ impl Pigeon {
                 // 0 disables the slow-query log.
                 self.slow_query_ms = num(value)?;
             }
+            "scrub_interval" | "scrub_interval_ms" => {
+                // Background integrity scrubber period; 0 stops it. Runs
+                // through the job scheduler as the low-priority "scrub"
+                // tenant so fair-share keeps it from starving queries.
+                let ms = num(value)?;
+                self.scrubber = None; // stop and join any previous one
+                if ms > 0 {
+                    if self.sched.is_none() {
+                        self.sched = Some(JobScheduler::new(&self.dfs, self.sched_cfg));
+                    }
+                    let sched = self.sched.as_ref().expect("scheduler just created").clone();
+                    self.scrubber =
+                        Some(Scrubber::start(sched, std::time::Duration::from_millis(ms)));
+                }
+            }
             other => {
                 return Err(PigeonError::Type(format!(
                     "unknown SET option {other} (expected retries, blacklist_threshold, \
                      worker_threads, retry_backoff_ms, speculative, \
                      speculation_threshold_ms, cache_budget, fault_plan, mmap, \
                      sched_slots, sched_policy, sched_max_inflight, sched_queue_cap, \
-                     telemetry_log, or slow_query_ms)"
+                     telemetry_log, slow_query_ms, or scrub_interval)"
                 )))
             }
         }
@@ -1115,6 +1150,62 @@ fn stmt_verb(stmt: &Stmt) -> &'static str {
         Stmt::Wait { .. } => "wait",
         Stmt::Stats => "stats",
         Stmt::Events { .. } => "events",
+        Stmt::Scrub { .. } => "scrub",
+    }
+}
+
+/// Background integrity scrubber: one thread that periodically submits a
+/// whole-namespace scrub through the job scheduler under the "scrub"
+/// tenant. Fair-share admission keeps it from starving query jobs; a
+/// full queue just skips that round. Dropping the handle stops and joins
+/// the thread.
+struct Scrubber {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Scrubber {
+    fn start(sched: JobScheduler, interval: std::time::Duration) -> Scrubber {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let watch = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || loop {
+            // Sleep in short slices so `SET scrub_interval 0;` (or the
+            // engine dropping) stops the thread promptly.
+            let mut slept = std::time::Duration::ZERO;
+            while slept < interval {
+                if watch.load(Ordering::Relaxed) {
+                    return;
+                }
+                let slice = std::time::Duration::from_millis(10).min(interval - slept);
+                std::thread::sleep(slice);
+                slept += slice;
+            }
+            if watch.load(Ordering::Relaxed) {
+                return;
+            }
+            match sched.submit_as("scrub", "scrub", |dfs| dfs.scrub("")) {
+                Ok(handle) => {
+                    let _ = handle.join();
+                }
+                Err(_) => {
+                    // Queue full or scheduler shut down: skip this round.
+                }
+            }
+        });
+        Scrubber {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Scrubber {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -1783,5 +1874,90 @@ mod tests {
         assert!(msg.contains("telemetry_log"), "{msg}");
         assert!(msg.contains("slow_query_ms"), "{msg}");
         assert!(msg.contains("mmap"), "{msg}");
+        assert!(msg.contains("scrub_interval"), "{msg}");
+    }
+
+    #[test]
+    fn scrub_statement_reports_and_heals() {
+        let (dfs, _) = dfs_with_points();
+        let mut engine = Pigeon::new(&dfs);
+        let run = |engine: &mut Pigeon, src: &str| {
+            engine.execute(&crate::parser::parse(src).unwrap()).unwrap()
+        };
+        let baseline = run(
+            &mut engine,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/scrub';\n\
+             r = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\n\
+             DUMP r;",
+        );
+        // Rot the primary replica of every partition, then scrub by path.
+        let mut hit = 0;
+        for part in dfs.list("/idx/scrub/") {
+            hit += dfs.corrupt_replica(&part, 0, sh_dfs::CorruptKind::Flip);
+        }
+        assert!(hit > 0);
+        let out = run(&mut engine, "SCRUB '/idx/scrub';\nSCRUB '/idx/scrub';");
+        assert_eq!(out.len(), 2);
+        assert!(
+            out[0].contains(&format!("{hit} corrupt, {hit} repaired, 0 unrecoverable")),
+            "first pass heals every fault: {}",
+            out[0]
+        );
+        assert!(
+            out[1].contains("0 corrupt, 0 repaired, 0 unrecoverable"),
+            "second pass is clean: {}",
+            out[1]
+        );
+        // Var-form scrub resolves the indexed binding to its directory.
+        let via_var = run(&mut engine, "SCRUB i;");
+        assert!(via_var[0].contains("0 corrupt"), "{}", via_var[0]);
+        // The healed index answers exactly like before the corruption.
+        let mut after = run(
+            &mut engine,
+            "r2 = FILTER i BY Overlaps(RECTANGLE(100, 100, 300, 300));\nDUMP r2;",
+        );
+        let mut base = baseline;
+        after.sort();
+        base.sort();
+        assert_eq!(after, base);
+    }
+
+    #[test]
+    fn background_scrubber_heals_without_queries() {
+        let (dfs, _) = dfs_with_points();
+        run_script(
+            &dfs,
+            "p = LOAD '/data/points' AS POINT;\n\
+             i = INDEX p AS grid INTO '/idx/bg';",
+        )
+        .unwrap();
+        let mut hit = 0;
+        for part in dfs.list("/idx/bg/") {
+            hit += dfs.corrupt_replica(&part, 0, sh_dfs::CorruptKind::Truncate);
+        }
+        assert!(hit > 0);
+        let before = dfs.metrics().snapshot();
+        let script = crate::parser::parse("SET scrub_interval 20;").unwrap();
+        let mut engine = Pigeon::new(&dfs);
+        engine.execute(&script).unwrap();
+        // Wait for at least one scrub round to find and heal the rot.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            let delta = dfs.metrics().snapshot().since(&before);
+            if delta.repaired_replicas >= hit as u64 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background scrubber never healed the corruption"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        // Disabling stops the thread (and Drop would too).
+        let off = crate::parser::parse("SET scrub_interval 0;").unwrap();
+        engine.execute(&off).unwrap();
+        let report = dfs.scrub("/idx/bg/");
+        assert_eq!(report.corrupt, 0, "nothing left to heal");
     }
 }

@@ -31,7 +31,7 @@ pub mod exec;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{RecordType, Script, Stmt};
+pub use ast::{RecordType, Script, ScrubTarget, Stmt};
 pub use exec::{Pigeon, PigeonError, Value};
 
 /// Parses and executes a script, returning the lines produced by its

@@ -4,7 +4,7 @@ use sh_core::storage::BlockFormat;
 use sh_geom::{Point, Rect};
 use sh_index::PartitionKind;
 
-use crate::ast::{RecordType, Script, Stmt};
+use crate::ast::{RecordType, Script, ScrubTarget, Stmt};
 use crate::exec::PigeonError;
 use crate::lexer::{tokenize, Token, TokenKind};
 
@@ -158,6 +158,15 @@ impl Parser {
         if first.eq_ignore_ascii_case("JOBS") {
             self.expect(&TokenKind::Semicolon)?;
             return Ok(Stmt::Jobs);
+        }
+        if first.eq_ignore_ascii_case("SCRUB") {
+            let target = match self.peek() {
+                Some(TokenKind::Str(_)) => Some(ScrubTarget::Path(self.string()?)),
+                Some(TokenKind::Ident(_)) => Some(ScrubTarget::Var(self.ident()?)),
+                _ => None,
+            };
+            self.expect(&TokenKind::Semicolon)?;
+            return Ok(Stmt::Scrub { target });
         }
         if first.eq_ignore_ascii_case("WAIT") {
             let n = self.number()?;
@@ -558,6 +567,25 @@ mod tests {
             PigeonError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_scrub() {
+        let s = parse("SCRUB;\nSCRUB '/idx/points';\nSCRUB points;").unwrap();
+        assert_eq!(s.stmts[0], Stmt::Scrub { target: None });
+        assert_eq!(
+            s.stmts[1],
+            Stmt::Scrub {
+                target: Some(ScrubTarget::Path("/idx/points".to_string()))
+            }
+        );
+        assert_eq!(
+            s.stmts[2],
+            Stmt::Scrub {
+                target: Some(ScrubTarget::Var("points".to_string()))
+            }
+        );
+        assert!(parse("SCRUB 5;").is_err());
     }
 
     #[test]

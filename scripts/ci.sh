@@ -5,8 +5,9 @@
 #   ./scripts/ci.sh --quick         # skip the chaos soak and benches
 #   ./scripts/ci.sh lint test       # just the named stages
 #
-# Stages: lint, build, test, chaos, bench. Fails fast, naming the stage
-# that broke, and prints per-stage wall-clock timings at the end.
+# Stages: lint, build, test, chaos, corruption, bench. Fails fast,
+# naming the stage that broke, and prints per-stage wall-clock timings
+# at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,12 +16,12 @@ STAGES=()
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    lint|build|test|chaos|bench) STAGES+=("$arg") ;;
-    *) echo "usage: $0 [--quick] [lint|build|test|chaos|bench]..." >&2; exit 2 ;;
+    lint|build|test|chaos|corruption|bench) STAGES+=("$arg") ;;
+    *) echo "usage: $0 [--quick] [lint|build|test|chaos|corruption|bench]..." >&2; exit 2 ;;
   esac
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint build test chaos bench)
+  STAGES=(lint build test chaos corruption bench)
   if [ "$QUICK" -eq 1 ]; then
     STAGES=(lint build test)
   fi
@@ -68,6 +69,22 @@ stage_chaos() {
     SH_CHAOS_ITERS=10 SH_TELEMETRY_LOG=telemetry_chaos.jsonl \
       cargo test -q --test telemetry &&
     SH_STRESS_MILLIS=2000 cargo test -q --test concurrency
+}
+
+stage_corruption() {
+  # Silent-corruption soak: 10 placement-seeded iterations of the
+  # flip/truncate chaos test (mmap off and on, text and SHCB layouts).
+  # The binary prints its SH_CHAOS_SEED= line so a failing run's log
+  # carries everything needed to reproduce it; the journal — including
+  # storage.corrupt_replica, storage.read_repair, and scrub.done events
+  # — streams to a JSONL artifact the workflow uploads. The property
+  # trio then sweeps arbitrary single-byte rot, read-repair healing,
+  # and the unreplicated must-error-not-lie contract.
+  SH_CHAOS_ITERS=10 SH_CHAOS_SEED="${SH_CHAOS_SEED:-12648430}" \
+    SH_TELEMETRY_LOG=telemetry_corruption.jsonl \
+    cargo test -q --test fault_tolerance silent_corruption -- --nocapture &&
+    cargo test -q --test properties -- \
+      any_single_byte_of_rot flip_and_truncate unreplicated_corruption
 }
 
 stage_bench() {

@@ -20,6 +20,7 @@ const QUERY: [f64; 4] = [100_000.0, 100_000.0, 400_000.0, 400_000.0];
 fn run_range(chaos: impl FnOnce(&Dfs)) -> (Vec<String>, JobProfile, String) {
     let mut cfg = ClusterConfig::small_for_tests();
     cfg.retry_backoff_ms = 0;
+    cfg.placement_seed = chaos_seed();
     let dfs = Dfs::new(cfg);
     let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
     let pts = points(20_000, Distribution::Uniform, &uni, 7);
@@ -220,7 +221,7 @@ fn cached_rerun_is_byte_identical_and_invalidated_by_churn() {
     for line in content.lines().filter(|l| *l != dropped) {
         w.write_line(line);
     }
-    w.close();
+    w.close().unwrap();
     let (fresh, fresh_raw) = run("/out/c3");
     assert!(
         fresh.counter("cache.misses") >= 1,
@@ -246,6 +247,22 @@ fn chaos_iters() -> usize {
         .and_then(|v| v.parse().ok())
         .unwrap_or(2)
         .max(2)
+}
+
+/// Seed for replica placement in the chaos runs. CI varies it via
+/// `SH_CHAOS_SEED` and the value is printed exactly once, so a failing
+/// run's log always carries everything needed to reproduce it locally.
+/// Defaults to the cluster's stock placement seed.
+fn chaos_seed() -> u64 {
+    static SEED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *SEED.get_or_init(|| {
+        let seed = std::env::var("SH_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(ClusterConfig::small_for_tests().placement_seed);
+        eprintln!("SH_CHAOS_SEED={seed}");
+        seed
+    })
 }
 
 #[test]
@@ -469,6 +486,119 @@ fn text_and_binary_indexes_answer_identically_under_chaos() {
                         "iteration {iter}: mmap join bytes differ from owned"
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn silent_corruption_is_repaired_with_byte_identical_output() {
+    use spatialhadoop::core::storage::{build_index_fmt, BlockFormat};
+    use spatialhadoop::dfs::CorruptKind;
+
+    let (base_lines, _, base_raw) = baseline();
+    let query = Rect::new(QUERY[0], QUERY[1], QUERY[2], QUERY[3]);
+
+    for iter in 0..chaos_iters() {
+        for mmap in [false, true] {
+            let mut cfg = ClusterConfig::small_for_tests();
+            cfg.retry_backoff_ms = 0;
+            // Vary placement per iteration so the corrupted ordinal
+            // lands on different nodes across the sweep.
+            cfg.placement_seed = chaos_seed().wrapping_add(iter as u64);
+            let dfs = Dfs::new(cfg);
+            let uni = Rect::new(0.0, 0.0, 1_000_000.0, 1_000_000.0);
+            let pts = points(20_000, Distribution::Uniform, &uni, 7);
+            upload(&dfs, "/data/points", &pts).unwrap();
+
+            for (fmt, tag) in [(BlockFormat::Text, "t"), (BlockFormat::Binary, "b")] {
+                let dir = format!("/i{tag}/p");
+                let file =
+                    build_index_fmt::<Point>(&dfs, "/data/points", &dir, PartitionKind::Grid, fmt)
+                        .unwrap()
+                        .value;
+
+                // Rot the primary replica of every stored file in the
+                // index directory — partitions, local-index sidecars,
+                // and the partition manifest alike. Ordinal 0 is the
+                // locality-first pick, so every cold read is guaranteed
+                // to hit the corruption, not route around it.
+                let mut plan = FaultPlan::none();
+                for (i, f) in dfs.list(&format!("{dir}/")).iter().enumerate() {
+                    let kind = if i % 2 == 0 {
+                        CorruptKind::Flip
+                    } else {
+                        CorruptKind::Truncate
+                    };
+                    plan = plan.corrupt_replica(f, 0, kind);
+                }
+                dfs.update_ft_options(|ft| {
+                    ft.fault_plan = plan;
+                    ft.mmap_scans = mmap;
+                });
+                dfs.cache().clear();
+
+                let before = dfs.metrics().snapshot();
+                let out = format!("/out/corrupt-{tag}{}", mmap as usize);
+                let r = range::range_spatial::<Point>(&dfs, &file, &query, &out).unwrap();
+                let lines: Vec<String> =
+                    r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+                let mut raw = String::new();
+                for part in dfs.list(&format!("{out}/part-")) {
+                    raw.push_str(&dfs.read_to_string(&part).unwrap());
+                }
+                let delta = dfs.metrics().snapshot().since(&before);
+                assert!(
+                    delta.corrupt_replicas > 0,
+                    "iteration {iter} fmt={tag} mmap={mmap}: query never hit the rot"
+                );
+                assert!(
+                    delta.repaired_replicas > 0,
+                    "iteration {iter} fmt={tag} mmap={mmap}: nothing was repaired"
+                );
+                assert_eq!(
+                    lines, base_lines,
+                    "iteration {iter} fmt={tag} mmap={mmap}: results diverged"
+                );
+                assert_eq!(
+                    raw, base_raw,
+                    "iteration {iter} fmt={tag} mmap={mmap}: bytes diverged"
+                );
+
+                // Query-driven read-repair only heals what the query
+                // read; pruned partitions still rot. A scrub reports
+                // and heals every remaining fault, and a second pass
+                // must come back clean.
+                dfs.update_ft_options(|ft| ft.fault_plan = FaultPlan::none());
+                let report = dfs.scrub(&format!("{dir}/"));
+                assert_eq!(
+                    report.unrecoverable, 0,
+                    "iteration {iter} fmt={tag}: replication 2 must always recover"
+                );
+                assert_eq!(
+                    report.corrupt, report.repaired,
+                    "iteration {iter} fmt={tag}: scrub left faults behind: {report}"
+                );
+                let clean = dfs.scrub(&format!("{dir}/"));
+                assert_eq!(
+                    clean.corrupt, 0,
+                    "iteration {iter} fmt={tag}: second scrub must run clean"
+                );
+
+                // Post-repair reruns parse fresh healthy bytes.
+                let (re_lines, re_raw) = {
+                    let out = format!("/out/healed-{tag}{}", mmap as usize);
+                    let r = range::range_spatial::<Point>(&dfs, &file, &query, &out).unwrap();
+                    let lines: Vec<String> =
+                        r.value.iter().map(|p| format!("{} {}", p.x, p.y)).collect();
+                    let mut raw = String::new();
+                    for part in dfs.list(&format!("{out}/part-")) {
+                        raw.push_str(&dfs.read_to_string(&part).unwrap());
+                    }
+                    (lines, raw)
+                };
+                assert_eq!(re_lines, base_lines, "healed rerun diverged");
+                assert_eq!(re_raw, base_raw, "healed rerun bytes diverged");
             }
         }
     }
