@@ -25,6 +25,19 @@ fn required_fields(benchmark: &str) -> &'static [&'static str] {
             "mmap_speedup",
         ],
         "throughput" => &["concurrent_secs"],
+        "load" => &[
+            "cores",
+            "target_qps",
+            "duration_secs",
+            "arrivals",
+            "completed",
+            "errors",
+            "busy_retries",
+            "sustained_qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+        ],
         _ => &[],
     }
 }
@@ -34,7 +47,7 @@ fn required_fields(benchmark: &str) -> &'static [&'static str] {
 /// is distinguishable from a passing multi-core one downstream.
 fn required_bool_fields(benchmark: &str) -> &'static [&'static str] {
     match benchmark {
-        "throughput" => &["gate_skipped"],
+        "throughput" | "load" => &["gate_skipped"],
         _ => &[],
     }
 }

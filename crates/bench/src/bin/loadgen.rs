@@ -1,0 +1,227 @@
+//! Open-loop load generator: replays a mixed range/kNN/join arrival
+//! stream at a target QPS against a live `sh-server` and reports tail
+//! latency + sustained throughput.
+//!
+//! ```text
+//! cargo run -p sh-bench --release --bin loadgen                 # BENCH_load.json
+//! cargo run -p sh-bench --release --bin loadgen -- out.json 40 6
+//! ```
+//!
+//! Open-loop means arrivals fire on schedule whether or not earlier
+//! queries finished — the scheduler's admission control, not the
+//! client, is what bounds concurrency, so queueing delay lands in the
+//! measured latency exactly as a user would feel it. `429 BUSY`
+//! responses are retried with the server's back-off hint and counted.
+//!
+//! The concurrency gate (sustained QPS + p99 bound) is enforced only on
+//! machines with at least [`MIN_CORES`] cores; below that the run is
+//! informational and the artifact records `gate_skipped: true`.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sh_bench::client::{Response, ShClient};
+use sh_server::{Server, ServerConfig};
+
+const MIN_CORES: usize = 4;
+/// Gate: at least this fraction of the target QPS must complete.
+const MIN_QPS_FRACTION: f64 = 0.5;
+/// Gate: p99 latency bound, generous enough for CI runners.
+const MAX_P99_MS: f64 = 2_000.0;
+/// Busy retries per query before it counts as an error.
+const MAX_RETRIES: usize = 50;
+
+const INIT_SCRIPT: &str = "\
+    p = GENERATE 60000 POINT uniform INTO '/load/p';\n\
+    ip = INDEX p AS str+ INTO '/load/ip';\n\
+    a = GENERATE 4000 RECTANGLE uniform INTO '/load/a';\n\
+    b = GENERATE 4000 RECTANGLE uniform INTO '/load/b';\n\
+    ia = INDEX a AS grid INTO '/load/ia';\n\
+    ib = INDEX b AS grid INTO '/load/ib';\n";
+
+/// Deterministic query mix: 70% range, 20% kNN, 10% join.
+fn query_for(i: usize) -> (&'static str, String) {
+    // Spread query centers over the default 1e6-wide universe.
+    let t = (i as f64 * 0.6180339887498949) % 1.0; // golden-ratio stride
+    let cx = 50_000.0 + t * 900_000.0;
+    let cy = 50_000.0 + ((t * 7.0) % 1.0) * 900_000.0;
+    match i % 10 {
+        0..=6 => (
+            "range",
+            format!(
+                "q = FILTER ip BY Overlaps(RECTANGLE({:.0}, {:.0}, {:.0}, {:.0})); DUMP q;",
+                cx - 40_000.0,
+                cy - 40_000.0,
+                cx + 40_000.0,
+                cy + 40_000.0
+            ),
+        ),
+        7 | 8 => (
+            "knn",
+            format!("q = KNN ip POINT({cx:.0}, {cy:.0}) K 10; DUMP q;"),
+        ),
+        _ => (
+            "join",
+            "q = JOIN ia, ib PREDICATE Overlaps; DUMP q;".to_string(),
+        ),
+    }
+}
+
+struct Sample {
+    latency_ms: f64,
+    retries: usize,
+    ok: bool,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 * p).ceil() as usize).clamp(1, sorted_ms.len()) - 1;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_load.json".to_string());
+    let target_qps: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(30.0);
+    let duration_secs: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or(4.0);
+
+    // Self-hosting: stand up a real server over TCP on an ephemeral
+    // port. The init script pre-builds the datasets every session sees.
+    let dfs = sh_bench::fresh_dfs(sh_bench::BLOCK);
+    let server = Server::start(
+        &dfs,
+        ServerConfig {
+            init_script: Some(INIT_SCRIPT.to_string()),
+            sched: sh_mapreduce::SchedConfig {
+                max_in_flight: 8,
+                queue_cap: 256,
+                ..sh_mapreduce::SchedConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+    println!("loadgen: server on {addr}, target {target_qps} qps for {duration_secs}s");
+
+    let arrivals = (target_qps * duration_secs).round() as usize;
+    let (tx, rx) = mpsc::channel::<Sample>();
+    let t0 = Instant::now();
+    let mut workers = Vec::with_capacity(arrivals);
+    for i in 0..arrivals {
+        // Open loop: sleep until the scheduled arrival, never until the
+        // previous query's completion.
+        let due = Duration::from_secs_f64(i as f64 / target_qps);
+        let now = t0.elapsed();
+        if due > now {
+            thread::sleep(due - now);
+        }
+        let tx = tx.clone();
+        workers.push(thread::spawn(move || {
+            let scheduled = due;
+            let (_kind, line) = query_for(i);
+            let sample = (|| -> std::io::Result<Sample> {
+                let mut client = ShClient::connect(&addr)?;
+                let (resp, retries) = client.request_with_retry(&line, MAX_RETRIES)?;
+                let ok = matches!(resp, Response::Ok(_));
+                client.quit().ok();
+                Ok(Sample {
+                    latency_ms: 0.0, // filled below
+                    retries,
+                    ok,
+                })
+            })();
+            let latency_ms = (t0.elapsed() - scheduled).as_secs_f64() * 1000.0;
+            let sample = match sample {
+                Ok(mut s) => {
+                    s.latency_ms = latency_ms;
+                    s
+                }
+                Err(_) => Sample {
+                    latency_ms,
+                    retries: 0,
+                    ok: false,
+                },
+            };
+            tx.send(sample).ok();
+        }));
+    }
+    drop(tx);
+    for w in workers {
+        w.join().expect("worker");
+    }
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let samples: Vec<Sample> = rx.iter().collect();
+    drop(server);
+
+    let completed = samples.iter().filter(|s| s.ok).count();
+    let errors = samples.len() - completed;
+    let busy_retries: usize = samples.iter().map(|s| s.retries).sum();
+    let mut lat: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.ok)
+        .map(|s| s.latency_ms)
+        .collect();
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latency NaN"));
+    let p50 = percentile(&lat, 0.50);
+    let p95 = percentile(&lat, 0.95);
+    let p99 = percentile(&lat, 0.99);
+    let sustained_qps = completed as f64 / wall_secs;
+    let cores = sh_bench::cores();
+    let enforced = cores >= MIN_CORES;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"load\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", sh_bench::git_rev()));
+    json.push_str(
+        "  \"workload\": {\"mix\": {\"range\": 7, \"knn\": 2, \"join\": 1}, \"points\": 60000, \"rects_per_side\": 4000},\n",
+    );
+    json.push_str(&format!("  \"target_qps\": {target_qps:.2},\n"));
+    json.push_str(&format!("  \"duration_secs\": {duration_secs:.2},\n"));
+    json.push_str(&format!("  \"arrivals\": {},\n", samples.len()));
+    json.push_str(&format!("  \"completed\": {completed},\n"));
+    json.push_str(&format!("  \"errors\": {errors},\n"));
+    json.push_str(&format!("  \"busy_retries\": {busy_retries},\n"));
+    json.push_str(&format!("  \"sustained_qps\": {sustained_qps:.3},\n"));
+    json.push_str(&format!("  \"p50_ms\": {p50:.3},\n"));
+    json.push_str(&format!("  \"p95_ms\": {p95:.3},\n"));
+    json.push_str(&format!("  \"p99_ms\": {p99:.3},\n"));
+    json.push_str(&format!("  \"gate_skipped\": {},\n", !enforced));
+    json.push_str(&format!(
+        "  \"load_gate\": {{\"min_qps_fraction\": {MIN_QPS_FRACTION}, \"max_p99_ms\": {MAX_P99_MS}, \"min_cores\": {MIN_CORES}, \"enforced\": {enforced}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+
+    println!(
+        "load: {completed}/{} ok ({errors} errors, {busy_retries} busy retries), \
+         sustained {sustained_qps:.1} qps, p50 {p50:.1}ms p95 {p95:.1}ms p99 {p99:.1}ms \
+         on {cores} core(s)",
+        samples.len()
+    );
+    println!("wrote {out_path}");
+
+    // Hard gate regardless of cores: the stream must actually complete.
+    assert!(
+        errors == 0,
+        "{errors} queries failed (not busy — real errors)"
+    );
+    if enforced {
+        let min_qps = target_qps * MIN_QPS_FRACTION;
+        if sustained_qps < min_qps {
+            eprintln!("FAIL: sustained {sustained_qps:.1} qps below {min_qps:.1}");
+            std::process::exit(1);
+        }
+        if p99 > MAX_P99_MS {
+            eprintln!("FAIL: p99 {p99:.1}ms above {MAX_P99_MS}ms");
+            std::process::exit(1);
+        }
+    } else {
+        println!("load: gate SKIPPED ({cores} cores < {MIN_CORES}); recorded gate_skipped=true");
+    }
+}

@@ -1,0 +1,163 @@
+//! CI smoke test for a live `sh-server`: connect, `SET`, `INDEX`, range
+//! query, a concurrent second connection, and the `429 BUSY` path.
+//!
+//! ```text
+//! sh-server --port 0 --max-inflight 1 --queue-cap 1 &   # note the addr
+//! cargo run -p sh-bench --bin server_smoke -- 127.0.0.1:PORT
+//! ```
+//!
+//! Expects a server with a **1-slot, 1-queue** scheduler so the third
+//! concurrent query provably gets pushed back. Exits non-zero on the
+//! first broken expectation; `scripts/ci.sh server` dumps the server
+//! log when that happens.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::thread;
+
+use sh_bench::client::{Response, ShClient};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("server_smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some(addr) = std::env::args().nth(1) else {
+        eprintln!("usage: server_smoke <host:port>");
+        return ExitCode::FAILURE;
+    };
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => return fail(&format!("bad address {addr:?}: {e}")),
+    };
+
+    // 1. Connect; the banner carries the protocol version.
+    let mut c1 = match ShClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("connect: {e}")),
+    };
+    println!("smoke: connected, banner {:?}", c1.banner());
+
+    // 2. SET (session-local knob) answers OK.
+    match c1.request("SET result_limit 5;") {
+        Ok(Response::Ok(rows)) if rows.is_empty() => println!("smoke: SET ok"),
+        other => return fail(&format!("SET: {other:?}")),
+    }
+
+    // 3. Build a dataset + index through the wire.
+    let build = "p = GENERATE 20000 POINT uniform INTO '/smoke/p'; \
+                 ip = INDEX p AS str+ INTO '/smoke/ip';";
+    match c1.request(build) {
+        Ok(Response::Ok(_)) => println!("smoke: INDEX ok"),
+        other => return fail(&format!("INDEX: {other:?}")),
+    }
+
+    // 4. Range query streams rows, capped by this session's result_limit
+    //    (5 rows + the truncation marker).
+    let q = "r = FILTER ip BY Overlaps(RECTANGLE(100000, 100000, 900000, 900000)); DUMP r;";
+    match c1.request(q) {
+        Ok(Response::Ok(rows)) => {
+            if rows.len() != 6 || !rows[5].contains("truncated by result_limit") {
+                return fail(&format!(
+                    "range: expected 5 rows + marker, got {} rows (last {:?})",
+                    rows.len(),
+                    rows.last()
+                ));
+            }
+            println!("smoke: range query ok ({} rows, truncated)", rows.len() - 1);
+        }
+        other => return fail(&format!("range: {other:?}")),
+    }
+
+    // 5. A concurrent second connection works and cannot see c1's vars
+    //    (sessions are isolated).
+    let mut c2 = match ShClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("second connect: {e}")),
+    };
+    match c2.request("DUMP p;") {
+        Ok(Response::Err(msg)) if msg.contains("undefined") => {
+            println!("smoke: session isolation ok (c2 cannot see c1's vars)")
+        }
+        other => return fail(&format!("isolation: expected undefined, got {other:?}")),
+    }
+    match c2.request("g = GENERATE 500 POINT uniform INTO '/smoke/g'; DUMP g;") {
+        Ok(Response::Ok(rows)) if rows.len() == 500 => {
+            println!("smoke: concurrent second connection ok (500 rows, no result_limit)")
+        }
+        other => return fail(&format!("second connection: {other:?}")),
+    }
+
+    // 6. The 429 path. The server runs a 1-slot/1-queue scheduler; a
+    //    DFS-wide fault-plan delay makes every map task 0 hold its job
+    //    slot ~2s, so with one query running and one queued, the third
+    //    must be pushed back. Each connection queries its own dataset
+    //    (sessions cannot see each other's vars), built while the fault
+    //    plan is still off.
+    let mut ca = match ShClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("busy conn a: {e}")),
+    };
+    let mut cb = match ShClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("busy conn b: {e}")),
+    };
+    for (c, path) in [(&mut ca, "'/smoke/a'"), (&mut cb, "'/smoke/b'")] {
+        match c.request(&format!("x = GENERATE 5000 POINT uniform INTO {path};")) {
+            Ok(Response::Ok(_)) => {}
+            other => return fail(&format!("busy setup {path}: {other:?}")),
+        }
+    }
+    if let Err(e) = c1.request("SET retry_backoff_ms 0; SET fault_plan 'delay:0x2000';") {
+        return fail(&format!("arm fault plan: {e}"));
+    }
+    let slow = "s = KNN x POINT(500000, 500000) K 3; DUMP s;";
+    let h1 = thread::spawn(move || {
+        let r = ca.request(slow);
+        ca.quit().ok();
+        r
+    });
+    let h2 = thread::spawn(move || {
+        // Stagger so a is running and b is queued before the probe.
+        thread::sleep(std::time::Duration::from_millis(300));
+        let r = cb.request(slow);
+        cb.quit().ok();
+        r
+    });
+    thread::sleep(std::time::Duration::from_millis(700));
+    // The probe uses c2's own heap dataset from step 5, so an admitted
+    // probe runs a real (slow) job rather than erroring.
+    let probe = "s = KNN g POINT(500000, 500000) K 3;";
+    let mut got_busy = false;
+    for _ in 0..10 {
+        match c2.request(probe) {
+            Ok(Response::Busy { retry_ms }) => {
+                println!("smoke: 429 BUSY ok (retry hint {retry_ms}ms)");
+                got_busy = true;
+                break;
+            }
+            Ok(Response::Ok(_)) => thread::sleep(std::time::Duration::from_millis(50)),
+            other => return fail(&format!("busy probe: {other:?}")),
+        }
+    }
+    if !got_busy {
+        return fail("never saw 429 BUSY from a saturated 1-slot scheduler");
+    }
+    match (h1.join(), h2.join()) {
+        (Ok(Ok(Response::Ok(ra))), Ok(Ok(Response::Ok(rb)))) if ra.len() == 3 && rb.len() == 3 => {
+            println!("smoke: queued queries completed after the busy window")
+        }
+        other => return fail(&format!("saturating queries: {other:?}")),
+    }
+    if let Err(e) = c1.request("SET fault_plan none;") {
+        return fail(&format!("disarm fault plan: {e}"));
+    }
+
+    // 7. Polite shutdown of both sessions.
+    if c1.quit().is_err() || c2.quit().is_err() {
+        return fail("QUIT");
+    }
+    println!("server_smoke: PASS");
+    ExitCode::SUCCESS
+}

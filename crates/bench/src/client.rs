@@ -1,0 +1,145 @@
+//! `sh-client` — a blocking client for the `sh-server` line protocol.
+//!
+//! Shared by the load generator, the CI smoke test, and the integration
+//! suite. One [`ShClient`] is one connection, i.e. one server session:
+//! its `SET`s and bindings are invisible to every other client.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sh_server::protocol::{parse_header, read_payload, Header};
+
+/// Outcome of one request line.
+#[derive(Debug)]
+pub enum Response {
+    /// Success: every streamed result row, reassembled in order.
+    Ok(Vec<String>),
+    /// The server rejected or failed the request.
+    Err(String),
+    /// Admission control pushed back; retry after the hinted delay.
+    Busy { retry_ms: u64 },
+}
+
+impl Response {
+    /// Unwraps the rows of a success, panicking otherwise — for tests
+    /// and benches where anything else is a bug.
+    pub fn expect_rows(self, context: &str) -> Vec<String> {
+        match self {
+            Response::Ok(rows) => rows,
+            other => panic!("{context}: expected OK, got {other:?}"),
+        }
+    }
+}
+
+/// A connected Pigeon-protocol client.
+pub struct ShClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    banner: String,
+}
+
+impl ShClient {
+    /// Connects and consumes the server banner.
+    pub fn connect(addr: &SocketAddr) -> io::Result<ShClient> {
+        let stream = TcpStream::connect_timeout(addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        let mut reader = BufReader::new(stream);
+        let mut banner = String::new();
+        reader.read_line(&mut banner)?;
+        let banner = banner.trim_end().to_string();
+        if !banner.starts_with("SHADOOP ") {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected banner: {banner:?}"),
+            ));
+        }
+        Ok(ShClient {
+            reader,
+            writer,
+            banner,
+        })
+    }
+
+    /// The greeting the server sent (protocol version lives here).
+    pub fn banner(&self) -> &str {
+        &self.banner
+    }
+
+    /// Sends one request line (Pigeon source; `;`-separated statements)
+    /// and reads the full response, reassembling streamed frames.
+    pub fn request(&mut self, line: &str) -> io::Result<Response> {
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a request is a single line; join statements with ';'",
+            ));
+        }
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut rows = Vec::new();
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed mid-response",
+                ));
+            }
+            match parse_header(&header)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+            {
+                Header::Data(n) => {
+                    let payload = read_payload(&mut self.reader, n)?;
+                    rows.extend(payload.lines().map(str::to_string));
+                }
+                Header::Ok(n) => {
+                    debug_assert_eq!(n as usize, rows.len(), "row count vs frames");
+                    return Ok(Response::Ok(rows));
+                }
+                Header::Err(n) => {
+                    let msg = read_payload(&mut self.reader, n)?;
+                    return Ok(Response::Err(msg));
+                }
+                Header::Busy(retry_ms) => return Ok(Response::Busy { retry_ms }),
+                Header::Bye => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected BYE mid-request",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// [`ShClient::request`], retrying `429 BUSY` responses up to
+    /// `max_retries` times with the server's suggested back-off.
+    /// Returns the terminal response and how many retries it took.
+    pub fn request_with_retry(
+        &mut self,
+        line: &str,
+        max_retries: usize,
+    ) -> io::Result<(Response, usize)> {
+        let mut retries = 0;
+        loop {
+            match self.request(line)? {
+                Response::Busy { retry_ms } if retries < max_retries => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_ms.clamp(1, 1000)));
+                }
+                other => return Ok((other, retries)),
+            }
+        }
+    }
+
+    /// Polite hang-up: sends `QUIT` and waits for `BYE`.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.writer.write_all(b"QUIT\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(())
+    }
+}

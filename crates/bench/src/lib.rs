@@ -20,6 +20,7 @@
 //! seconds are simulated from the cost model; comparisons between
 //! variants are the reproduction target, not absolute magnitudes.
 
+pub mod client;
 pub mod experiments;
 pub mod table;
 pub mod trend;

@@ -67,8 +67,9 @@ impl Regression {
     }
 }
 
-/// The metrics the gate watches per benchmark. `warm_secs_mean` and
-/// `concurrent_secs` are lower-is-better latencies; the two speedup
+/// The metrics the gate watches per benchmark. `warm_secs_mean`,
+/// `concurrent_secs`, and the server load test's `p99_ms` tail latency
+/// are lower-is-better; the two speedup
 /// ratios guard the storage-format and scan-path wins so a format
 /// regression (binary decode or mmap zero-copy getting slower relative
 /// to its baseline) fails CI even when absolute times drift.
@@ -76,6 +77,7 @@ pub fn tracked_metrics(benchmark: &str) -> &'static [&'static str] {
     match benchmark {
         "hotpath" => &["warm_secs_mean", "binary_speedup", "mmap_speedup"],
         "throughput" => &["concurrent_secs"],
+        "load" => &["p99_ms"],
         _ => &[],
     }
 }
@@ -95,7 +97,7 @@ pub const MIN_CONCURRENCY_CORES: usize = 4;
 /// Runs on fewer than [`MIN_CONCURRENCY_CORES`] cores must not append
 /// these to the trend history.
 pub fn is_concurrency_metric(benchmark: &str) -> bool {
-    benchmark == "throughput"
+    benchmark == "throughput" || benchmark == "load"
 }
 
 /// Extracts every tracked entry from one parsed bench artifact. Returns
@@ -346,8 +348,30 @@ mod tests {
     #[test]
     fn concurrency_metrics_are_flagged() {
         assert!(is_concurrency_metric("throughput"));
+        assert!(is_concurrency_metric("load"));
         assert!(!is_concurrency_metric("hotpath"));
         assert!(MIN_CONCURRENCY_CORES >= 2);
+    }
+
+    #[test]
+    fn load_p99_is_tracked_and_fails_on_growth() {
+        let doc = json::parse(
+            r#"{"benchmark": "load", "sustained_qps": 29.5, "p50_ms": 3.0,
+                "p95_ms": 20.0, "p99_ms": 36.0, "gate_skipped": false}"#,
+        )
+        .unwrap();
+        assert_eq!(extract_entries(&doc), vec![entry("load", "p99_ms", 36.0)]);
+
+        // p99 is a latency, not a speedup: the gate trips on growth…
+        assert!(!higher_is_better("p99_ms"));
+        let previous = vec![entry("load", "p99_ms", 36.0)];
+        let current = vec![entry("load", "p99_ms", 50.0)];
+        let regs = find_regressions(&previous, &current, DEFAULT_MAX_RATIO);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].render().contains("load.p99_ms"));
+        // …and never on improvement.
+        let current = vec![entry("load", "p99_ms", 10.0)];
+        assert!(find_regressions(&previous, &current, DEFAULT_MAX_RATIO).is_empty());
     }
 
     #[test]

@@ -110,6 +110,8 @@ pub enum JobState {
     Running,
     Done,
     Failed,
+    /// Dequeued by [`JobScheduler::cancel`] before it ever ran.
+    Cancelled,
 }
 
 impl fmt::Display for JobState {
@@ -119,6 +121,7 @@ impl fmt::Display for JobState {
             JobState::Running => write!(f, "running"),
             JobState::Done => write!(f, "done"),
             JobState::Failed => write!(f, "failed"),
+            JobState::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -355,6 +358,37 @@ impl JobScheduler {
     /// Jobs currently running.
     pub fn running(&self) -> usize {
         self.inner.state.lock().expect("scheduler poisoned").running
+    }
+
+    /// Cancels a still-queued job: it is dequeued without running and
+    /// its handle observes [`SchedError::Shutdown`]. Returns `false` if
+    /// the job already started (running jobs run to completion — task
+    /// waves own cluster state that must settle) or never existed. This
+    /// is the disconnect path for network sessions: a client that goes
+    /// away while its statement waits in the queue must not hold a queue
+    /// slot against live sessions.
+    pub fn cancel(&self, id: u64) -> bool {
+        let mut st = self.inner.state.lock().expect("scheduler poisoned");
+        let Some(pos) = st.queue.iter().position(|p| p.id == id) else {
+            return false;
+        };
+        let pending = st.queue.remove(pos).expect("index from position");
+        if let Some(r) = st.jobs.get_mut(&id) {
+            r.state = JobState::Cancelled;
+        }
+        let registry = sh_trace::global();
+        registry.counter_add("sched.cancelled", 1);
+        registry.gauge_set("sched.queue.depth", st.queue.len() as i64);
+        sh_trace::events::emit(
+            "job.cancelled",
+            vec![("id", id.to_string()), ("tenant", pending.tenant.clone())],
+        );
+        drop(st);
+        // Dropping the pending closure drops its result sender, so a
+        // joiner (if any survives the disconnect) observes Shutdown.
+        drop(pending);
+        self.inner.cv.notify_all();
+        true
     }
 
     /// Blocks until every queued and running job has finished.
@@ -643,6 +677,38 @@ mod tests {
         // The scheduler still admits new work.
         let h = sched.submit("after", |_| 7u32).unwrap();
         assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn cancel_dequeues_queued_jobs_but_not_running_ones() {
+        let fs = dfs();
+        let cfg = SchedConfig {
+            max_in_flight: 1,
+            ..SchedConfig::default()
+        };
+        let sched = JobScheduler::new(&fs, cfg);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let blocker = sched
+            .submit("blocker", move |_| {
+                gate_rx.recv().ok();
+            })
+            .unwrap();
+        while sched.running() == 0 {
+            std::thread::yield_now();
+        }
+        let queued = sched.submit("doomed", |_| 1u8).unwrap();
+        // A running job cannot be cancelled; a queued one can, exactly once.
+        assert!(!sched.cancel(blocker.id));
+        assert!(sched.cancel(queued.id));
+        assert!(!sched.cancel(queued.id));
+        assert_eq!(sched.job_state(queued.id), Some(JobState::Cancelled));
+        assert_eq!(queued.join(), Err(SchedError::Shutdown));
+        // The freed queue slot admits new work.
+        let after = sched.submit("after", |_| 7u32).unwrap();
+        gate_tx.send(()).unwrap();
+        blocker.join().unwrap();
+        assert_eq!(after.join().unwrap(), 7);
+        assert!(!sched.cancel(12345), "unknown ids are not cancellable");
     }
 
     #[test]

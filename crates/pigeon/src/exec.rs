@@ -76,55 +76,75 @@ static OUT_SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize:
 
 pub struct Pigeon {
     dfs: Dfs,
-    vars: HashMap<String, Value>,
-    /// Aggregated profile of the most recent statement that ran jobs;
-    /// consumed by `PROFILE <statement>`.
-    last_profile: Option<JobProfile>,
-    /// Multi-job scheduler, created by the first `SUBMIT`.
+    /// Engine-owned session backing the classic single-client entry
+    /// points ([`Pigeon::execute`], [`crate::run_script`]); servers hand
+    /// [`Pigeon::execute_with`] one [`SessionCtx`] per connection.
+    session: SessionCtx,
+    /// Multi-job scheduler, created by the first `SUBMIT` (or shared
+    /// across engines via [`Pigeon::with_scheduler`]).
     sched: Option<JobScheduler>,
     /// Admission config the scheduler is created with (`SET sched_*`
     /// before the first `SUBMIT`).
     sched_cfg: SchedConfig,
-    /// Submitted-but-unwaited jobs by scheduler job id.
-    pending: HashMap<u64, JobHandle<Result<SubmitOutcome, String>>>,
     /// Time-series sampler over the global registry, started lazily by
     /// the first `STATS;` (so short-lived engines — e.g. the per-job
     /// engines `SUBMIT` spawns — never pay for a sampling thread).
     sampler: Option<Sampler>,
-    /// Slow-query threshold (`SET slow_query_ms <n>;`); 0 disables.
-    slow_query_ms: u64,
-    /// Rendered profiles of statements that tripped the slow-query
-    /// threshold, drained into the dump output after each statement.
-    slow_log: Vec<String>,
     /// Background integrity scrubber (`SET scrub_interval <ms>;`);
     /// stopped and joined when replaced, disabled, or the engine drops.
     scrubber: Option<Scrubber>,
 }
 
-/// What an asynchronous `SUBMIT` statement hands back at `WAIT`: the
-/// variable the inner statement bound (if any), whatever it dumped, and
-/// the profile of the jobs it ran.
-struct SubmitOutcome {
-    binding: Option<(String, Value)>,
-    dumped: Vec<String>,
-    profile: Option<JobProfile>,
+/// Per-client execution state: variable bindings, in-flight `SUBMIT`s,
+/// and the knobs `SET` scopes to a single session. Each server
+/// connection owns one — so one client's `SET` never changes another's
+/// answers — while the CLI driver uses the engine's default session.
+#[derive(Default)]
+pub struct SessionCtx {
+    /// Named datasets bound by this session's statements.
+    pub vars: HashMap<String, Value>,
+    /// Aggregated profile of the most recent statement that ran jobs;
+    /// consumed by `PROFILE <statement>`.
+    last_profile: Option<JobProfile>,
+    /// Submitted-but-unwaited jobs by scheduler job id.
+    pending: HashMap<u64, JobHandle<Result<StmtOutput, String>>>,
+    /// Slow-query threshold (`SET slow_query_ms <n>;`); 0 disables.
+    slow_query_ms: u64,
+    /// Rendered profiles of statements that tripped the slow-query
+    /// threshold, drained into the dump output after each statement.
+    slow_log: Vec<String>,
+    /// `SET result_limit <n>;`: cap on rows a single `DUMP` emits
+    /// (0 = unlimited). Session-local by design — the observable proof
+    /// that one connection's `SET` cannot leak into another's output.
+    result_limit: usize,
 }
 
-impl Pigeon {
-    /// Creates an engine over the given DFS.
-    pub fn new(dfs: &Dfs) -> Pigeon {
-        Pigeon {
-            dfs: dfs.clone(),
-            vars: HashMap::new(),
-            last_profile: None,
-            sched: None,
-            sched_cfg: SchedConfig::default(),
-            pending: HashMap::new(),
-            sampler: None,
-            slow_query_ms: 0,
-            slow_log: Vec::new(),
-            scrubber: None,
+impl SessionCtx {
+    /// An empty session with default knobs.
+    pub fn new() -> SessionCtx {
+        SessionCtx::default()
+    }
+
+    /// A session seeded with this one's bindings and knobs but none of
+    /// its in-flight state — what a new server connection starts from.
+    pub fn fork(&self) -> SessionCtx {
+        SessionCtx {
+            vars: self.vars.clone(),
+            slow_query_ms: self.slow_query_ms,
+            result_limit: self.result_limit,
+            ..SessionCtx::default()
         }
+    }
+
+    /// Looks up a bound value.
+    pub fn get(&self, var: &str) -> Option<&Value> {
+        self.vars.get(var)
+    }
+
+    fn lookup(&self, var: &str) -> Result<&Value, PigeonError> {
+        self.vars
+            .get(var)
+            .ok_or_else(|| PigeonError::Undefined(var.to_string()))
     }
 
     /// Unwraps an operation result, stashing its aggregated profile so a
@@ -152,20 +172,116 @@ impl Pigeon {
         r.value
     }
 
+    /// Applies a finished statement's outcome to this session: installs
+    /// the binding, stashes the profile, and returns the dump lines.
+    pub fn absorb(&mut self, out: StmtOutput) -> Vec<String> {
+        if let Some((var, val)) = out.binding {
+            self.vars.insert(var, val);
+        }
+        self.last_profile = out.profile;
+        out.dumped
+    }
+}
+
+/// What a statement run off-thread hands back: the variable it bound
+/// (if any), whatever it dumped, and the profile of the jobs it ran.
+/// Fed back into its session with [`SessionCtx::absorb`].
+pub struct StmtOutput {
+    binding: Option<(String, Value)>,
+    dumped: Vec<String>,
+    profile: Option<JobProfile>,
+}
+
+/// Outcome of [`Pigeon::admit_stmt`]: the statement either ran inline,
+/// was queued behind a ticket, or was rejected by admission control.
+pub enum Admission {
+    /// Ran synchronously; here are its dump lines.
+    Done(Vec<String>),
+    /// The scheduler queue is full — back off and retry.
+    Busy,
+    /// Queued or running; redeem the ticket for the outcome.
+    Pending(StmtTicket),
+}
+
+/// A claim on a statement executing through the scheduler.
+pub struct StmtTicket {
+    sched: JobScheduler,
+    handle: JobHandle<Result<StmtOutput, String>>,
+}
+
+impl StmtTicket {
+    /// Scheduler job id running this statement.
+    pub fn id(&self) -> u64 {
+        self.handle.id
+    }
+
+    /// Non-blocking check: `None` while still queued or running.
+    pub fn poll(&self) -> Option<Result<StmtOutput, PigeonError>> {
+        self.handle.try_join().map(flatten_job)
+    }
+
+    /// Blocks until the statement finishes.
+    pub fn wait(self) -> Result<StmtOutput, PigeonError> {
+        flatten_job(self.handle.join())
+    }
+
+    /// Best-effort cancellation: dequeues the statement if it has not
+    /// started yet (a running statement completes normally — its result
+    /// is simply never absorbed). True if the queue slot was reclaimed.
+    pub fn cancel(&self) -> bool {
+        self.sched.cancel(self.handle.id)
+    }
+}
+
+fn flatten_job(
+    r: Result<Result<StmtOutput, String>, sh_mapreduce::SchedError>,
+) -> Result<StmtOutput, PigeonError> {
+    match r {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(msg)) => Err(PigeonError::Job(msg)),
+        Err(e) => Err(PigeonError::Job(e.to_string())),
+    }
+}
+
+impl Pigeon {
+    /// Creates an engine over the given DFS.
+    pub fn new(dfs: &Dfs) -> Pigeon {
+        Pigeon {
+            dfs: dfs.clone(),
+            session: SessionCtx::default(),
+            sched: None,
+            sched_cfg: SchedConfig::default(),
+            sampler: None,
+            scrubber: None,
+        }
+    }
+
+    /// Creates an engine that shares an existing scheduler instead of
+    /// lazily creating its own — how the server gives every connection
+    /// one admission-controlled queue. `SET sched_*` knobs are rejected
+    /// on such engines (the scheduler already exists).
+    pub fn with_scheduler(dfs: &Dfs, sched: &JobScheduler) -> Pigeon {
+        let mut engine = Pigeon::new(dfs);
+        engine.sched = Some(sched.clone());
+        engine
+    }
+
+    /// The engine's scheduler, created on first use.
+    fn scheduler(&mut self) -> &JobScheduler {
+        if self.sched.is_none() {
+            self.sched = Some(JobScheduler::new(&self.dfs, self.sched_cfg));
+        }
+        self.sched.as_ref().expect("scheduler just created")
+    }
+
     /// Profile of the last statement that ran jobs, if any.
     pub fn last_profile(&self) -> Option<&JobProfile> {
-        self.last_profile.as_ref()
+        self.session.last_profile.as_ref()
     }
 
-    /// Looks up a bound value.
+    /// Looks up a bound value in the engine's own session.
     pub fn get(&self, var: &str) -> Option<&Value> {
-        self.vars.get(var)
-    }
-
-    fn lookup(&self, var: &str) -> Result<&Value, PigeonError> {
-        self.vars
-            .get(var)
-            .ok_or_else(|| PigeonError::Undefined(var.to_string()))
+        self.session.get(var)
     }
 
     fn out_dir(&mut self, op: &str) -> String {
@@ -173,16 +289,56 @@ impl Pigeon {
         format!("/pigeon/{op}-{seq}")
     }
 
-    /// Executes a script; returns the concatenated lines of all `DUMP`
-    /// statements in order.
+    /// Executes a script against the engine's own session; returns the
+    /// concatenated lines of all `DUMP` statements in order.
     pub fn execute(&mut self, script: &Script) -> Result<Vec<String>, PigeonError> {
+        let mut sess = std::mem::take(&mut self.session);
+        let r = self.execute_with(&mut sess, script);
+        self.session = sess;
+        r
+    }
+
+    /// Executes a script against a caller-owned session (one per server
+    /// connection).
+    pub fn execute_with(
+        &mut self,
+        sess: &mut SessionCtx,
+        script: &Script,
+    ) -> Result<Vec<String>, PigeonError> {
         let mut dumped = Vec::new();
         for stmt in &script.stmts {
-            self.execute_stmt(stmt, &mut dumped)?;
+            self.execute_stmt(sess, stmt, &mut dumped)?;
             // Auto-dump profiles that tripped `SET slow_query_ms`.
-            dumped.append(&mut self.slow_log);
+            dumped.append(&mut sess.slow_log);
         }
         Ok(dumped)
+    }
+
+    /// Admits one statement for a session: statements that run cluster
+    /// jobs go through the scheduler — so admission control applies and
+    /// the caller can poll, stream, or cancel — while everything else
+    /// runs inline. `QueueFull` surfaces as [`Admission::Busy`] rather
+    /// than an error; it is the server's 429 path.
+    pub fn admit_stmt(
+        &mut self,
+        sess: &mut SessionCtx,
+        stmt: &Stmt,
+        tenant: &str,
+    ) -> Result<Admission, PigeonError> {
+        if !stmt_runs_jobs(stmt) {
+            let mut dumped = Vec::new();
+            self.execute_stmt(sess, stmt, &mut dumped)?;
+            dumped.append(&mut sess.slow_log);
+            return Ok(Admission::Done(dumped));
+        }
+        let name = stmt_verb(stmt);
+        let closure = job_closure(stmt.clone(), sess.vars.clone(), sess.slow_query_ms);
+        let sched = self.scheduler().clone();
+        match sched.submit_as(tenant, name, closure) {
+            Ok(handle) => Ok(Admission::Pending(StmtTicket { sched, handle })),
+            Err(sh_mapreduce::SchedError::QueueFull) => Ok(Admission::Busy),
+            Err(e) => Err(PigeonError::Job(e.to_string())),
+        }
     }
 
     /// The universe of a points dataset (needed by heap-file fallbacks);
@@ -206,13 +362,18 @@ impl Pigeon {
         }
     }
 
-    fn execute_stmt(&mut self, stmt: &Stmt, dumped: &mut Vec<String>) -> Result<(), PigeonError> {
+    fn execute_stmt(
+        &mut self,
+        sess: &mut SessionCtx,
+        stmt: &Stmt,
+        dumped: &mut Vec<String>,
+    ) -> Result<(), PigeonError> {
         match stmt {
             Stmt::Load { var, path, rtype } => {
                 if !self.dfs.exists(path) {
                     return Err(PigeonError::Undefined(format!("no such file {path}")));
                 }
-                self.vars.insert(
+                sess.vars.insert(
                     var.clone(),
                     Value::Heap {
                         path: path.clone(),
@@ -260,7 +421,7 @@ impl Pigeon {
                 if imported == 0 {
                     return Err(PigeonError::Type(format!("{host_path}: no records")));
                 }
-                self.vars.insert(
+                sess.vars.insert(
                     var.clone(),
                     Value::Heap {
                         path: path.clone(),
@@ -313,7 +474,7 @@ impl Pigeon {
                         storage::upload(&self.dfs, path, &ps)?;
                     }
                 }
-                self.vars.insert(
+                sess.vars.insert(
                     var.clone(),
                     Value::Heap {
                         path: path.clone(),
@@ -323,11 +484,11 @@ impl Pigeon {
             }
             Stmt::Delaunay { var, src } => {
                 let out = self.out_dir("delaunay");
-                let tris = match self.lookup(src)?.clone() {
+                let tris = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::delaunay::delaunay_spatial(&self.dfs, &file, &out)?;
-                        self.take("delaunay", r)
+                        sess.take("delaunay", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
@@ -336,7 +497,7 @@ impl Pigeon {
                             rtype,
                         })?;
                         let r = ops::delaunay::delaunay_hadoop(&self.dfs, &path, &uni, &out)?;
-                        self.take("delaunay", r)
+                        sess.take("delaunay", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("DELAUNAY over a result set".into()))
@@ -351,7 +512,7 @@ impl Pigeon {
                         )
                     })
                     .collect();
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::Index {
                 var,
@@ -360,7 +521,7 @@ impl Pigeon {
                 path,
                 format,
             } => {
-                let (heap, rtype) = match self.lookup(src)? {
+                let (heap, rtype) = match sess.lookup(src)? {
                     Value::Heap { path, rtype } => (path.clone(), *rtype),
                     _ => {
                         return Err(PigeonError::Type(format!(
@@ -379,77 +540,77 @@ impl Pigeon {
                         storage::build_index_fmt::<Polygon>(&self.dfs, &heap, path, *kind, *format)?
                     }
                 };
-                let file = self.take("index", r);
-                self.vars
+                let file = sess.take("index", r);
+                sess.vars
                     .insert(var.clone(), Value::Indexed { file, rtype });
             }
             Stmt::RangeFilter { var, src, query } => {
                 let out = self.out_dir("range");
-                let lines = match self.lookup(src)?.clone() {
+                let lines = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => match rtype {
                         RecordType::Point => {
                             let r =
                                 ops::range::range_spatial::<Point>(&self.dfs, &file, query, &out)?;
-                            to_lines(&self.take("range", r))
+                            to_lines(&sess.take("range", r))
                         }
                         RecordType::Rectangle => {
                             let r =
                                 ops::range::range_spatial::<Rect>(&self.dfs, &file, query, &out)?;
-                            to_lines(&self.take("range", r))
+                            to_lines(&sess.take("range", r))
                         }
                         RecordType::Polygon => {
                             let r = ops::range::range_spatial::<Polygon>(
                                 &self.dfs, &file, query, &out,
                             )?;
-                            to_lines(&self.take("range", r))
+                            to_lines(&sess.take("range", r))
                         }
                     },
                     Value::Heap { path, rtype } => match rtype {
                         RecordType::Point => {
                             let r =
                                 ops::range::range_hadoop::<Point>(&self.dfs, &path, query, &out)?;
-                            to_lines(&self.take("range", r))
+                            to_lines(&sess.take("range", r))
                         }
                         RecordType::Rectangle => {
                             let r =
                                 ops::range::range_hadoop::<Rect>(&self.dfs, &path, query, &out)?;
-                            to_lines(&self.take("range", r))
+                            to_lines(&sess.take("range", r))
                         }
                         RecordType::Polygon => {
                             let r =
                                 ops::range::range_hadoop::<Polygon>(&self.dfs, &path, query, &out)?;
-                            to_lines(&self.take("range", r))
+                            to_lines(&sess.take("range", r))
                         }
                     },
                     Value::Result(_) => {
                         return Err(PigeonError::Type("FILTER over a result set".into()))
                     }
                 };
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::Knn { var, src, q, k } => {
                 let out = self.out_dir("knn");
-                let pts = match self.lookup(src)?.clone() {
+                let pts = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::knn::knn_spatial(&self.dfs, &file, q, *k, &out)?;
-                        self.take("knn", r)
+                        sess.take("knn", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::knn::knn_hadoop(&self.dfs, &path, q, *k, &out)?;
-                        self.take("knn", r)
+                        sess.take("knn", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("KNN over a result set".into()))
                     }
                 };
-                self.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
+                sess.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
             }
             Stmt::Join { var, left, right } => {
                 let out = self.out_dir("join");
-                let l = self.lookup(left)?.clone();
-                let r = self.lookup(right)?.clone();
+                let l = sess.lookup(left)?.clone();
+                let r = sess.lookup(right)?.clone();
                 let pairs = match (l, r) {
                     (
                         Value::Indexed {
@@ -464,7 +625,7 @@ impl Pigeon {
                         expect_rects(left, ta)?;
                         expect_rects(right, tb)?;
                         let r = ops::join::distributed_join(&self.dfs, &fa, &fb, &out)?;
-                        self.take("join", r)
+                        sess.take("join", r)
                     }
                     (
                         Value::Heap {
@@ -494,7 +655,7 @@ impl Pigeon {
                         }
                         drop(ua);
                         let r = ops::join::sjmr(&self.dfs, &pa, &pb, &uni, 16, &out)?;
-                        self.take("join", r)
+                        sess.take("join", r)
                     }
                     _ => {
                         return Err(PigeonError::Type(
@@ -506,7 +667,7 @@ impl Pigeon {
                     .iter()
                     .map(|(a, b)| format!("{} | {}", a.to_line(), b.to_line()))
                     .collect();
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::KnnJoin {
                 var,
@@ -515,7 +676,7 @@ impl Pigeon {
                 k,
             } => {
                 let out = self.out_dir("knnjoin");
-                let (l, r) = (self.lookup(left)?.clone(), self.lookup(right)?.clone());
+                let (l, r) = (sess.lookup(left)?.clone(), sess.lookup(right)?.clone());
                 let rows = match (l, r) {
                     (
                         Value::Indexed {
@@ -530,7 +691,7 @@ impl Pigeon {
                         expect_points(left, ta)?;
                         expect_points(right, tb)?;
                         let r = ops::knn_join::knn_join_spatial(&self.dfs, &fa, &fb, *k, &out)?;
-                        self.take("knnjoin", r)
+                        sess.take("knnjoin", r)
                     }
                     _ => {
                         return Err(PigeonError::Type(
@@ -548,53 +709,53 @@ impl Pigeon {
                         s
                     })
                     .collect();
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::Skyline { var, src } => {
                 let out = self.out_dir("skyline");
-                let pts = match self.lookup(src)?.clone() {
+                let pts = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::skyline::skyline_spatial(&self.dfs, &file, &out)?;
-                        self.take("skyline", r)
+                        sess.take("skyline", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::skyline::skyline_hadoop(&self.dfs, &path, &out)?;
-                        self.take("skyline", r)
+                        sess.take("skyline", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("SKYLINE over a result set".into()))
                     }
                 };
-                self.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
+                sess.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
             }
             Stmt::ConvexHull { var, src } => {
                 let out = self.out_dir("hull");
-                let pts = match self.lookup(src)?.clone() {
+                let pts = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::convex_hull::hull_spatial(&self.dfs, &file, &out)?;
-                        self.take("convexhull", r)
+                        sess.take("convexhull", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::convex_hull::hull_hadoop(&self.dfs, &path, &out)?;
-                        self.take("convexhull", r)
+                        sess.take("convexhull", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("CONVEXHULL over a result set".into()))
                     }
                 };
-                self.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
+                sess.vars.insert(var.clone(), Value::Result(to_lines(&pts)));
             }
             Stmt::ClosestPair { var, src } => {
                 let out = self.out_dir("cp");
-                let pair = match self.lookup(src)?.clone() {
+                let pair = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::closest_pair::closest_pair_spatial(&self.dfs, &file, &out)?;
-                        self.take("closestpair", r)
+                        sess.take("closestpair", r)
                     }
                     _ => {
                         return Err(PigeonError::Type(
@@ -612,20 +773,20 @@ impl Pigeon {
                         )]
                     })
                     .unwrap_or_default();
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::FarthestPair { var, src } => {
                 let out = self.out_dir("fp");
-                let pair = match self.lookup(src)?.clone() {
+                let pair = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::farthest_pair::farthest_pair_spatial(&self.dfs, &file, &out)?;
-                        self.take("farthestpair", r)
+                        sess.take("farthestpair", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::farthest_pair::farthest_pair_hadoop(&self.dfs, &path, &out)?;
-                        self.take("farthestpair", r)
+                        sess.take("farthestpair", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("FARTHESTPAIR over a result set".into()))
@@ -641,11 +802,11 @@ impl Pigeon {
                         )]
                     })
                     .unwrap_or_default();
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::Union { var, src } => {
                 let out = self.out_dir("union");
-                let segs = match self.lookup(src)?.clone() {
+                let segs = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         if rtype != RecordType::Polygon {
                             return Err(PigeonError::Type(format!(
@@ -654,10 +815,10 @@ impl Pigeon {
                         }
                         if file.is_disjoint() {
                             let r = ops::union::union_enhanced(&self.dfs, &file, &out)?;
-                            self.take("union", r)
+                            sess.take("union", r)
                         } else {
                             let r = ops::union::union_spatial(&self.dfs, &file, &out)?;
-                            self.take("union", r)
+                            sess.take("union", r)
                         }
                     }
                     Value::Heap { path, rtype } => {
@@ -667,22 +828,22 @@ impl Pigeon {
                             )));
                         }
                         let r = ops::union::union_hadoop(&self.dfs, &path, &out)?;
-                        self.take("union", r)
+                        sess.take("union", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("UNION over a result set".into()))
                     }
                 };
-                self.vars
+                sess.vars
                     .insert(var.clone(), Value::Result(to_lines(&segs)));
             }
             Stmt::Voronoi { var, src } => {
                 let out = self.out_dir("voronoi");
-                let cells = match self.lookup(src)?.clone() {
+                let cells = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => {
                         expect_points(src, rtype)?;
                         let r = ops::voronoi::voronoi_spatial(&self.dfs, &file, &out)?;
-                        self.take("voronoi", r)
+                        sess.take("voronoi", r)
                     }
                     Value::Heap { path, rtype } => {
                         expect_points(src, rtype)?;
@@ -691,7 +852,7 @@ impl Pigeon {
                             rtype,
                         })?;
                         let r = ops::voronoi::voronoi_hadoop(&self.dfs, &path, &uni, &out)?;
-                        self.take("voronoi", r)
+                        sess.take("voronoi", r)
                     }
                     Value::Result(_) => {
                         return Err(PigeonError::Type("VORONOI over a result set".into()))
@@ -708,10 +869,10 @@ impl Pigeon {
                         )
                     })
                     .collect();
-                self.vars.insert(var.clone(), Value::Result(lines));
+                sess.vars.insert(var.clone(), Value::Result(lines));
             }
             Stmt::Describe { src } => {
-                let stats = match self.lookup(src)?.clone() {
+                let stats = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, .. } => ops::aggregate::stats_spatial(&file),
                     Value::Heap { path, rtype } => {
                         let out = self.out_dir("describe");
@@ -726,7 +887,7 @@ impl Pigeon {
                                 ops::aggregate::stats_hadoop::<Polygon>(&self.dfs, &path, &out)?
                             }
                         };
-                        self.take("describe", r)
+                        sess.take("describe", r)
                     }
                     Value::Result(lines) => {
                         dumped.push(format!("result set: {} rows", lines.len()));
@@ -749,7 +910,7 @@ impl Pigeon {
                 height,
                 path,
             } => {
-                let (file, rtype) = match self.lookup(src)?.clone() {
+                let (file, rtype) = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => (file, rtype),
                     _ => return Err(PigeonError::Type("PLOT requires an indexed dataset".into())),
                 };
@@ -764,7 +925,7 @@ impl Pigeon {
                         ops::plot::plot_spatial::<Polygon>(&self.dfs, &file, *width, *height, path)?
                     }
                 };
-                self.take("plot", r);
+                sess.take("plot", r);
             }
             Stmt::PlotPyramid {
                 src,
@@ -772,7 +933,7 @@ impl Pigeon {
                 tile_px,
                 path,
             } => {
-                let (file, rtype) = match self.lookup(src)?.clone() {
+                let (file, rtype) = match sess.lookup(src)?.clone() {
                     Value::Indexed { file, rtype } => (file, rtype),
                     _ => {
                         return Err(PigeonError::Type(
@@ -791,36 +952,49 @@ impl Pigeon {
                         &self.dfs, &file, *levels, *tile_px, path,
                     )?,
                 };
-                self.take("plotpyramid", r);
+                sess.take("plotpyramid", r);
             }
-            Stmt::Dump { src } => match self.lookup(src)? {
-                Value::Result(lines) => dumped.extend(lines.iter().cloned()),
-                Value::Heap { path, .. } => {
-                    let text = self.dfs.read_to_string(path)?;
-                    dumped.extend(text.lines().map(str::to_string));
+            Stmt::Dump { src } => {
+                let start = dumped.len();
+                match sess.lookup(src)? {
+                    Value::Result(lines) => dumped.extend(lines.iter().cloned()),
+                    Value::Heap { path, .. } => {
+                        let text = self.dfs.read_to_string(path)?;
+                        dumped.extend(text.lines().map(str::to_string));
+                    }
+                    Value::Indexed { file, .. } => {
+                        dumped.push(format!(
+                            "indexed file {} ({}; {} partitions, {} records)",
+                            file.dir,
+                            file.kind.name(),
+                            file.partitions.len(),
+                            file.total_records()
+                        ));
+                    }
                 }
-                Value::Indexed { file, .. } => {
+                // Session-local row cap (`SET result_limit <n>;`).
+                let limit = sess.result_limit;
+                let emitted = dumped.len() - start;
+                if limit > 0 && emitted > limit {
+                    dumped.truncate(start + limit);
                     dumped.push(format!(
-                        "indexed file {} ({}; {} partitions, {} records)",
-                        file.dir,
-                        file.kind.name(),
-                        file.partitions.len(),
-                        file.total_records()
+                        "... ({} rows truncated by result_limit {limit})",
+                        emitted - limit
                     ));
                 }
-            },
+            }
             Stmt::Profile(inner) => {
-                self.last_profile = None;
-                self.execute_stmt(inner, dumped)?;
-                match self.last_profile.take() {
+                sess.last_profile = None;
+                self.execute_stmt(sess, inner, dumped)?;
+                match sess.last_profile.take() {
                     Some(p) => dumped.extend(p.render().lines().map(str::to_string)),
                     None => dumped.push("profile: statement ran no jobs".to_string()),
                 }
             }
             Stmt::ExplainAnalyze(inner) => {
-                self.last_profile = None;
-                self.execute_stmt(inner, dumped)?;
-                match self.last_profile.take() {
+                sess.last_profile = None;
+                self.execute_stmt(sess, inner, dumped)?;
+                match sess.last_profile.take() {
                     Some(p) => match &p.spans {
                         Some(root) => {
                             dumped.push(format!("explain analyze: {}", p.job));
@@ -851,7 +1025,7 @@ impl Pigeon {
                     dumped.extend(events.iter().map(Event::render));
                 }
             }
-            Stmt::Set { key, value } => self.apply_set(key, value)?,
+            Stmt::Set { key, value } => self.apply_set(sess, key, value)?,
             Stmt::Submit(inner) => {
                 forbid_nested_async(inner)?;
                 let stmt = (**inner).clone();
@@ -859,31 +1033,13 @@ impl Pigeon {
                 // The job sees a snapshot of the environment; its own
                 // bindings come back at WAIT, so concurrent jobs cannot
                 // race on the variable table.
-                let vars = self.vars.clone();
-                if self.sched.is_none() {
-                    self.sched = Some(JobScheduler::new(&self.dfs, self.sched_cfg));
-                }
-                let sched = self.sched.as_ref().expect("scheduler just created");
-                let handle = sched
-                    .submit(&name, move |dfs| -> Result<SubmitOutcome, String> {
-                        let mut engine = Pigeon::new(dfs);
-                        engine.vars = vars;
-                        let mut job_dumped = Vec::new();
-                        engine
-                            .execute_stmt(&stmt, &mut job_dumped)
-                            .map_err(|e| e.to_string())?;
-                        let binding = target_var(&stmt).and_then(|v| {
-                            engine.vars.get(v).map(|val| (v.to_string(), val.clone()))
-                        });
-                        Ok(SubmitOutcome {
-                            binding,
-                            dumped: job_dumped,
-                            profile: engine.last_profile.take(),
-                        })
-                    })
+                let closure = job_closure(stmt, sess.vars.clone(), sess.slow_query_ms);
+                let handle = self
+                    .scheduler()
+                    .submit(&name, closure)
                     .map_err(|e| PigeonError::Job(e.to_string()))?;
                 dumped.push(format!("submitted job {} ({name})", handle.id));
-                self.pending.insert(handle.id, handle);
+                sess.pending.insert(handle.id, handle);
             }
             Stmt::Jobs => match &self.sched {
                 Some(sched) => {
@@ -897,18 +1053,12 @@ impl Pigeon {
                 None => dumped.push("no jobs submitted".to_string()),
             },
             Stmt::Wait { id } => {
-                let handle = self
+                let handle = sess
                     .pending
                     .remove(id)
                     .ok_or_else(|| PigeonError::Type(format!("WAIT {id}: no such pending job")))?;
                 match handle.join() {
-                    Ok(Ok(outcome)) => {
-                        if let Some((var, val)) = outcome.binding {
-                            self.vars.insert(var, val);
-                        }
-                        dumped.extend(outcome.dumped);
-                        self.last_profile = outcome.profile;
-                    }
+                    Ok(Ok(outcome)) => dumped.extend(sess.absorb(outcome)),
                     Ok(Err(msg)) => return Err(PigeonError::Job(format!("job {id}: {msg}"))),
                     Err(e) => return Err(PigeonError::Job(format!("job {id}: {e}"))),
                 }
@@ -917,7 +1067,7 @@ impl Pigeon {
                 let prefix = match target {
                     None => String::new(),
                     Some(ScrubTarget::Path(p)) => p.clone(),
-                    Some(ScrubTarget::Var(v)) => match self.lookup(v)? {
+                    Some(ScrubTarget::Var(v)) => match sess.lookup(v)? {
                         Value::Heap { path, .. } => path.clone(),
                         Value::Indexed { file, .. } => file.dir.clone(),
                         Value::Result(_) => {
@@ -930,7 +1080,7 @@ impl Pigeon {
                 dumped.push(self.dfs.scrub(&prefix).to_string());
             }
             Stmt::Store { src, path } => {
-                let lines = match self.lookup(src)? {
+                let lines = match sess.lookup(src)? {
                     Value::Result(lines) => lines.clone(),
                     _ => {
                         return Err(PigeonError::Type(
@@ -959,9 +1109,15 @@ impl Pigeon {
         Ok(())
     }
 
-    /// Applies a `SET <option> <value>;` to the cluster's fault-tolerance
-    /// policy. Takes effect for every job launched afterwards.
-    fn apply_set(&mut self, key: &str, value: &str) -> Result<(), PigeonError> {
+    /// Applies a `SET <option> <value>;`. Most knobs configure the
+    /// cluster (shared by every session); `slow_query_ms` and
+    /// `result_limit` are session-local.
+    fn apply_set(
+        &mut self,
+        sess: &mut SessionCtx,
+        key: &str,
+        value: &str,
+    ) -> Result<(), PigeonError> {
         let num = |v: &str| {
             v.parse::<u64>().map_err(|_| {
                 PigeonError::Type(format!(
@@ -1048,8 +1204,12 @@ impl Pigeon {
             }
             "slow_query_ms" => {
                 // Statements slower than this auto-dump their profile;
-                // 0 disables the slow-query log.
-                self.slow_query_ms = num(value)?;
+                // 0 disables the slow-query log. Session-local.
+                sess.slow_query_ms = num(value)?;
+            }
+            "result_limit" | "result_limit_rows" => {
+                // Per-session cap on rows a DUMP emits; 0 is unlimited.
+                sess.result_limit = num(value)? as usize;
             }
             "scrub_interval" | "scrub_interval_ms" => {
                 // Background integrity scrubber period; 0 stops it. Runs
@@ -1072,7 +1232,7 @@ impl Pigeon {
                      worker_threads, retry_backoff_ms, speculative, \
                      speculation_threshold_ms, cache_budget, fault_plan, mmap, \
                      sched_slots, sched_policy, sched_max_inflight, sched_queue_cap, \
-                     telemetry_log, slow_query_ms, or scrub_interval)"
+                     telemetry_log, slow_query_ms, result_limit, or scrub_interval)"
                 )))
             }
         }
@@ -1151,6 +1311,76 @@ fn stmt_verb(stmt: &Stmt) -> &'static str {
         Stmt::Stats => "stats",
         Stmt::Events { .. } => "events",
         Stmt::Scrub { .. } => "scrub",
+    }
+}
+
+/// Whether a statement launches cluster jobs — the criterion
+/// [`Pigeon::admit_stmt`] uses to route it through the scheduler so
+/// admission control (and thus server back-pressure) applies to it.
+/// Bookkeeping statements (`LOAD`, `SET`, `DUMP`, `WAIT`, ...) run
+/// inline: they finish in microseconds and `DUMP`/`WAIT` need the live
+/// session state a snapshot could not provide.
+pub fn stmt_runs_jobs(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Import { .. }
+        | Stmt::Generate { .. }
+        | Stmt::Delaunay { .. }
+        | Stmt::Index { .. }
+        | Stmt::RangeFilter { .. }
+        | Stmt::Knn { .. }
+        | Stmt::Join { .. }
+        | Stmt::KnnJoin { .. }
+        | Stmt::Skyline { .. }
+        | Stmt::ConvexHull { .. }
+        | Stmt::ClosestPair { .. }
+        | Stmt::FarthestPair { .. }
+        | Stmt::Union { .. }
+        | Stmt::Voronoi { .. }
+        | Stmt::Describe { .. }
+        | Stmt::Plot { .. }
+        | Stmt::PlotPyramid { .. }
+        | Stmt::Scrub { .. } => true,
+        Stmt::Profile(inner) | Stmt::ExplainAnalyze(inner) => stmt_runs_jobs(inner),
+        Stmt::Load { .. }
+        | Stmt::Dump { .. }
+        | Stmt::Store { .. }
+        | Stmt::Set { .. }
+        | Stmt::Submit(_)
+        | Stmt::Jobs
+        | Stmt::Wait { .. }
+        | Stmt::Stats
+        | Stmt::Events { .. } => false,
+    }
+}
+
+/// Packages a statement for scheduler execution: the closure builds a
+/// throwaway engine over a snapshot of the session's bindings and
+/// returns the statement's outcome for later [`SessionCtx::absorb`].
+fn job_closure(
+    stmt: Stmt,
+    vars: HashMap<String, Value>,
+    slow_query_ms: u64,
+) -> impl FnOnce(&Dfs) -> Result<StmtOutput, String> + Send + 'static {
+    move |dfs| {
+        let mut engine = Pigeon::new(dfs);
+        let mut sess = SessionCtx {
+            vars,
+            slow_query_ms,
+            ..SessionCtx::default()
+        };
+        let mut dumped = Vec::new();
+        engine
+            .execute_stmt(&mut sess, &stmt, &mut dumped)
+            .map_err(|e| e.to_string())?;
+        // Slow-query profiles travel with the job's dump output.
+        dumped.append(&mut sess.slow_log);
+        let binding = target_var(&stmt)
+            .and_then(|v| sess.vars.get(v).map(|val| (v.to_string(), val.clone())));
+        Ok(StmtOutput {
+            binding,
+            dumped,
+            profile: sess.last_profile.take(),
+        })
     }
 }
 

@@ -32,7 +32,9 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{RecordType, Script, ScrubTarget, Stmt};
-pub use exec::{Pigeon, PigeonError, Value};
+pub use exec::{
+    stmt_runs_jobs, Admission, Pigeon, PigeonError, SessionCtx, StmtOutput, StmtTicket, Value,
+};
 
 /// Parses and executes a script, returning the lines produced by its
 /// `DUMP` statements.

@@ -1,0 +1,202 @@
+//! Wire protocol: a line-oriented request/response framing shared by
+//! the server and the bench client.
+//!
+//! ```text
+//! S: SHADOOP 1 READY\n                      (banner, once per connection)
+//! C: <one line of Pigeon source>\n          (a request; ';'-separated stmts)
+//! S: DATA <nbytes>\n<nbytes of payload>     (zero or more bounded frames)
+//! S: OK <rows>\n                            (success terminator)
+//!    | ERR <nbytes>\n<nbytes of message>    (failure terminator)
+//!    | 429 BUSY <retry_ms>\n                (admission rejection; retry)
+//! C: QUIT\n                                 (optional; server answers BYE)
+//! ```
+//!
+//! Frame payloads are result lines, each newline-terminated. Frames are
+//! flushed as soon as they reach the configured chunk size *or* a
+//! statement completes, so long result sets stream instead of
+//! buffering; a single line longer than the chunk size travels alone in
+//! one oversized frame. Everything is printable text — the protocol is
+//! debuggable with netcat.
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Protocol revision, bumped on incompatible framing changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Greeting line sent once per connection.
+pub const BANNER: &str = "SHADOOP 1 READY";
+
+/// Reply sent in response to `QUIT` before the server closes.
+pub const BYE: &str = "BYE";
+
+/// Default frame payload bound, in bytes.
+pub const DEFAULT_CHUNK_BYTES: usize = 8192;
+
+/// A parsed response header line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Header {
+    /// `DATA <nbytes>`: a payload frame follows.
+    Data(usize),
+    /// `OK <rows>`: request finished; total result rows streamed.
+    Ok(u64),
+    /// `ERR <nbytes>`: request failed; message payload follows.
+    Err(usize),
+    /// `429 BUSY <retry_ms>`: admission control rejected the request.
+    Busy(u64),
+    /// `BYE`: the server acknowledged `QUIT` and is closing.
+    Bye,
+}
+
+/// Parses one response header line.
+pub fn parse_header(line: &str) -> Result<Header, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.split_whitespace();
+    let word = parts.next().unwrap_or("");
+    let arg = |p: &mut std::str::SplitWhitespace<'_>| {
+        p.next()
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| format!("malformed header: {line:?}"))
+    };
+    match word {
+        "DATA" => Ok(Header::Data(arg(&mut parts)? as usize)),
+        "OK" => Ok(Header::Ok(arg(&mut parts)?)),
+        "ERR" => Ok(Header::Err(arg(&mut parts)? as usize)),
+        "429" => {
+            if parts.next() != Some("BUSY") {
+                return Err(format!("malformed header: {line:?}"));
+            }
+            Ok(Header::Busy(arg(&mut parts)?))
+        }
+        "BYE" => Ok(Header::Bye),
+        _ => Err(format!("unrecognized header: {line:?}")),
+    }
+}
+
+/// Streams result lines as bounded `DATA` frames; returns the number of
+/// frames written. Each frame is flushed immediately so the client sees
+/// rows while later statements are still running.
+pub fn write_data_frames(
+    w: &mut impl Write,
+    lines: &[String],
+    chunk_bytes: usize,
+) -> io::Result<usize> {
+    let chunk = chunk_bytes.max(1);
+    let mut frames = 0usize;
+    let mut buf = String::new();
+    for line in lines {
+        if !buf.is_empty() && buf.len() + line.len() + 1 > chunk {
+            write_frame(w, "DATA", &buf)?;
+            frames += 1;
+            buf.clear();
+        }
+        buf.push_str(line);
+        buf.push('\n');
+    }
+    if !buf.is_empty() {
+        write_frame(w, "DATA", &buf)?;
+        frames += 1;
+    }
+    Ok(frames)
+}
+
+/// Writes the success terminator.
+pub fn write_ok(w: &mut impl Write, rows: u64) -> io::Result<()> {
+    w.write_all(format!("OK {rows}\n").as_bytes())?;
+    w.flush()
+}
+
+/// Writes the failure terminator with its message payload.
+pub fn write_err(w: &mut impl Write, message: &str) -> io::Result<()> {
+    write_frame(w, "ERR", message)
+}
+
+/// Writes the admission-rejection terminator.
+pub fn write_busy(w: &mut impl Write, retry_ms: u64) -> io::Result<()> {
+    w.write_all(format!("429 BUSY {retry_ms}\n").as_bytes())?;
+    w.flush()
+}
+
+fn write_frame(w: &mut impl Write, kind: &str, payload: &str) -> io::Result<()> {
+    w.write_all(format!("{kind} {}\n", payload.len()).as_bytes())?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads exactly `n` payload bytes following a `DATA`/`ERR` header.
+pub fn read_payload(r: &mut impl BufRead, n: usize) -> io::Result<String> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("payload not UTF-8: {e}"),
+        )
+    })
+}
+
+/// Reads one header line (without trailing newline). `Ok(None)` on a
+/// cleanly closed stream.
+pub fn read_header_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    if r.by_ref().take(256).read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(line.trim_end_matches(['\r', '\n']).to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headers_round_trip() {
+        assert_eq!(parse_header("DATA 42"), Ok(Header::Data(42)));
+        assert_eq!(parse_header("OK 7\n"), Ok(Header::Ok(7)));
+        assert_eq!(parse_header("ERR 13"), Ok(Header::Err(13)));
+        assert_eq!(parse_header("429 BUSY 100"), Ok(Header::Busy(100)));
+        assert_eq!(parse_header("BYE"), Ok(Header::Bye));
+        assert!(parse_header("NOPE 1").is_err());
+        assert!(parse_header("DATA lots").is_err());
+        assert!(parse_header("429 FULL 5").is_err());
+    }
+
+    #[test]
+    fn frames_are_bounded_and_cover_all_lines() {
+        let lines: Vec<String> = (0..100).map(|i| format!("row-{i:04}")).collect();
+        let mut out = Vec::new();
+        let frames = write_data_frames(&mut out, &lines, 64).unwrap();
+        assert!(frames > 1, "small chunk must split the stream");
+        // Re-parse every frame and reassemble.
+        let mut r = io::BufReader::new(&out[..]);
+        let mut got = Vec::new();
+        while let Some(h) = read_header_line(&mut r).unwrap() {
+            match parse_header(&h).unwrap() {
+                Header::Data(n) => {
+                    assert!(n <= 64, "frame payload over the chunk bound: {n}");
+                    let payload = read_payload(&mut r, n).unwrap();
+                    got.extend(payload.lines().map(str::to_string));
+                }
+                other => panic!("unexpected header {other:?}"),
+            }
+        }
+        assert_eq!(got, lines);
+    }
+
+    #[test]
+    fn oversized_single_line_travels_alone() {
+        let lines = vec!["x".repeat(100)];
+        let mut out = Vec::new();
+        let frames = write_data_frames(&mut out, &lines, 16).unwrap();
+        assert_eq!(frames, 1);
+        let mut r = io::BufReader::new(&out[..]);
+        let h = read_header_line(&mut r).unwrap().unwrap();
+        assert_eq!(parse_header(&h), Ok(Header::Data(101)));
+    }
+
+    #[test]
+    fn empty_result_writes_no_frames() {
+        let mut out = Vec::new();
+        assert_eq!(write_data_frames(&mut out, &[], 64).unwrap(), 0);
+        assert!(out.is_empty());
+    }
+}

@@ -5,9 +5,9 @@
 #   ./scripts/ci.sh --quick         # skip the chaos soak and benches
 #   ./scripts/ci.sh lint test       # just the named stages
 #
-# Stages: lint, build, test, chaos, corruption, bench. Fails fast,
-# naming the stage that broke, and prints per-stage wall-clock timings
-# at the end.
+# Stages: lint, build, test, chaos, corruption, server, bench. Fails
+# fast, naming the stage that broke, and prints per-stage wall-clock
+# timings at the end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,12 +16,12 @@ STAGES=()
 for arg in "$@"; do
   case "$arg" in
     --quick) QUICK=1 ;;
-    lint|build|test|chaos|corruption|bench) STAGES+=("$arg") ;;
-    *) echo "usage: $0 [--quick] [lint|build|test|chaos|corruption|bench]..." >&2; exit 2 ;;
+    lint|build|test|chaos|corruption|server|bench) STAGES+=("$arg") ;;
+    *) echo "usage: $0 [--quick] [lint|build|test|chaos|corruption|server|bench]..." >&2; exit 2 ;;
   esac
 done
 if [ ${#STAGES[@]} -eq 0 ]; then
-  STAGES=(lint build test chaos corruption bench)
+  STAGES=(lint build test chaos corruption server bench)
   if [ "$QUICK" -eq 1 ]; then
     STAGES=(lint build test)
   fi
@@ -87,6 +87,47 @@ stage_corruption() {
       any_single_byte_of_rot flip_and_truncate unreplicated_corruption
 }
 
+stage_server() {
+  # End-to-end smoke of the network front door: boot sh-server on an
+  # ephemeral port with a deliberately tiny scheduler (1 slot, 1-deep
+  # queue) so the smoke client can provably trigger 429 BUSY, then
+  # drive it over TCP: connect, SET, INDEX, range query, a concurrent
+  # second connection, and the busy path.
+  cargo build --release --bin sh-server &&
+    cargo build --release -p sh-bench --bin server_smoke &&
+    run_server_smoke
+}
+
+run_server_smoke() {
+  local log=server_smoke_ci.log pid addr=""
+  rm -f "$log"
+  ./target/release/sh-server --port 0 --max-inflight 1 --queue-cap 1 >"$log" 2>&1 &
+  pid=$!
+  # The server prints "LISTENING <addr>" once bound; poll the log for it.
+  for _ in $(seq 1 100); do
+    addr=$(awk '/^LISTENING /{print $2; exit}' "$log")
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "sh-server never reported LISTENING; server log follows:" >&2
+    cat "$log" >&2
+    kill "$pid" 2>/dev/null || true
+    return 1
+  fi
+  echo "--- server up at $addr (1-slot scheduler); running smoke client"
+  local rc=0
+  ./target/release/server_smoke "$addr" || rc=$?
+  kill "$pid" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
+  if [ "$rc" -ne 0 ]; then
+    echo "server smoke FAILED (exit $rc); server log follows:" >&2
+    cat "$log" >&2
+    return "$rc"
+  fi
+}
+
 stage_bench() {
   # The throughput trend entry only means something with real
   # parallelism; trendcheck drops it below 4 cores (see sh-bench trend).
@@ -97,30 +138,39 @@ stage_bench() {
     cargo run -q -p sh-bench --release --bin hotpath -- BENCH_hotpath_ci.json &&
     echo "--- throughput (concurrent vs serial multi-job)" &&
     cargo run -q -p sh-bench --release --bin throughput -- BENCH_throughput_ci.json &&
+    echo "--- load (open-loop mixed queries against a live sh-server)" &&
+    cargo run -q -p sh-bench --release --bin loadgen -- BENCH_load_ci.json &&
     echo "--- benchmark JSON artifacts must be well-formed" &&
     cargo run -q -p sh-bench --release --bin checkjson -- \
-      BENCH_hotpath_ci.json BENCH_throughput_ci.json &&
+      BENCH_hotpath_ci.json BENCH_throughput_ci.json BENCH_load_ci.json &&
     echo "--- trend gate (fail on >20% run-over-run regression, speedups on shrinkage)" &&
     cargo run -q -p sh-bench --release --bin trendcheck -- \
-      BENCH_hotpath_ci.json BENCH_throughput_ci.json &&
-    report_scan_gates
+      BENCH_hotpath_ci.json BENCH_throughput_ci.json BENCH_load_ci.json &&
+    report_gate_verdicts
 }
 
-# Summarizes which scan-path gates actually ran vs. were skipped, read
-# straight from the CI bench artifacts so the log states it explicitly.
-report_scan_gates() {
-  echo "--- scan-path gate summary"
+# One-line RAN/SKIPPED verdict per enforced gate, read straight from the
+# CI bench artifacts so the log states explicitly what was checked.
+report_gate_verdicts() {
+  echo "--- gate verdicts"
   awk -F'[:,]' '
     /"mmap_speedup"/  { gsub(/[ "]/, "", $2); print "  hotpath mmap_speedup gate: RAN (>=1.3x required, got " $2 "x)" }
     /"binary_speedup"/ { gsub(/[ "]/, "", $2); print "  hotpath binary_speedup gate: RAN (>=1.5x required, got " $2 "x)" }
   ' BENCH_hotpath_ci.json
-  awk -F'[:,]' '
+  gate_verdict "throughput speedup" BENCH_throughput_ci.json
+  gate_verdict "load (sustained QPS + p99)" BENCH_load_ci.json
+}
+
+# Reads `gate_skipped` from one artifact and prints the verdict line.
+gate_verdict() {
+  local label="$1" file="$2"
+  awk -F'[:,]' -v label="$label" '
     /"gate_skipped"/ {
       gsub(/[ ]/, "", $2)
-      if ($2 == "true") print "  throughput speedup gate: SKIPPED (gate_skipped: true, single-core runner)"
-      else print "  throughput speedup gate: RAN (gate_skipped: false)"
+      if ($2 == "true") print "  " label " gate: SKIPPED (gate_skipped: true, single-core runner)"
+      else print "  " label " gate: RAN (gate_skipped: false)"
     }
-  ' BENCH_throughput_ci.json
+  ' "$file"
 }
 
 for s in "${STAGES[@]}"; do

@@ -13,6 +13,8 @@
 //! * [`core`] — the SpatialHadoop layers: storage (index building jobs),
 //!   spatial MapReduce components, and the operations layer,
 //! * [`pigeon`] — the high-level query language,
+//! * [`server`] — the TCP front door: sessions, streamed results,
+//!   back-pressure over the job scheduler,
 //! * [`workload`] — dataset generators used by tests and benchmarks.
 
 pub use sh_core as core;
@@ -21,5 +23,6 @@ pub use sh_geom as geom;
 pub use sh_index as index;
 pub use sh_mapreduce as mapreduce;
 pub use sh_pigeon as pigeon;
+pub use sh_server as server;
 pub use sh_trace as trace;
 pub use sh_workload as workload;
